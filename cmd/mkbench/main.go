@@ -1,0 +1,137 @@
+// Command mkbench regenerates the paper's evaluation tables and ablation
+// figures (see DESIGN.md §4 for the experiment index):
+//
+//	mkbench -table 1           # Table 1: performance vs monolithic
+//	mkbench -table 2           # Table 2: memory footprint
+//	mkbench -ablation concurrency
+//	mkbench -ablation variants # fisheye + power-aware (§5.1)
+//	mkbench -ablation dymo     # optimised flooding + multipath (§5.2)
+//	mkbench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"manetkit/internal/core"
+	"manetkit/internal/harness"
+)
+
+func main() {
+	table := flag.Int("table", 0, "paper table to regenerate (1 or 2)")
+	ablation := flag.String("ablation", "", "ablation to run: concurrency, variants, dymo, hybrid")
+	all := flag.Bool("all", false, "run everything")
+	iters := flag.Int("iters", 2000, "iterations for per-message timing")
+	flag.Parse()
+
+	if !*all && *table == 0 && *ablation == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	run := func(name string, fn func() error) {
+		fmt.Printf("== %s ==\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "mkbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if *all || *table == 1 {
+		run("Table 1", func() error { return table1(*iters) })
+	}
+	if *all || *table == 2 {
+		run("Table 2", table2)
+	}
+	if *all || *ablation == "concurrency" {
+		run("Concurrency models (§4.4)", concurrency)
+	}
+	if *all || *ablation == "variants" {
+		run("OLSR variants (§5.1)", variants)
+	}
+	if *all || *ablation == "dymo" {
+		run("DYMO variants (§5.2)", dymoVariants)
+	}
+	if *all || *ablation == "hybrid" {
+		run("Hybridisation (§7 extension)", hybrid)
+	}
+}
+
+func hybrid() error {
+	r, err := harness.MeasureHybrid(7)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("7-node line, one far discovery:\n")
+	fmt.Printf("  RREQ re-broadcasts: reactive(DYMO)=%d hybrid(ZRP)=%d\n", r.ReactiveForwards, r.HybridForwards)
+	fmt.Printf("  discovery+delivery: reactive=%v hybrid=%v\n",
+		r.ReactiveDelay.Round(time.Millisecond), r.HybridDelay.Round(time.Millisecond))
+	fmt.Printf("  zone answers=%d; in-zone send triggered %d discoveries (zone is proactive)\n",
+		r.ZoneAnswers, r.NearDiscoveries)
+	return nil
+}
+
+func table1(iters int) error {
+	t, err := harness.MeasureTable1(iters)
+	if err != nil {
+		return err
+	}
+	t.Print()
+	return nil
+}
+
+func table2() error {
+	t, err := harness.MeasureTable2()
+	if err != nil {
+		return err
+	}
+	t.Print()
+	return nil
+}
+
+func concurrency() error {
+	fmt.Printf("%-26s %14s %12s\n", "model", "events/sec", "elapsed")
+	for _, m := range []core.Model{core.SingleThreaded, core.PerMessage, core.PerN} {
+		r, err := harness.MeasureConcurrency(m, 4, 20000, 3000)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-26s %14.0f %12s\n", r.Model, r.PerSecond, r.Elapsed.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func variants() error {
+	fish, err := harness.MeasureFisheye(16, 4, 60*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fisheye: TC transmissions over 60s on a 4x4 grid: %d -> %d (%.0f%% reduction)\n",
+		fish.BaselineTCTx, fish.FisheyeTCTx, 100*fish.Reduction)
+
+	pw, err := harness.MeasurePowerAware()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("power-aware: drained relay selected as MPR: base=%v power-aware=%v\n",
+		pw.DrainedSelectedBase, pw.DrainedSelectedPower)
+	return nil
+}
+
+func dymoVariants() error {
+	fl, err := harness.MeasureDYMOFlooding(8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flooding: RREQ re-broadcasts on an 8-clique: blind=%d gossip(p=0.65)=%d mpr=%d (%.0f%% reduction blind->mpr)\n",
+		fl.BlindForwards, fl.GossipForwards, fl.OptimisedForwards, 100*fl.Reduction)
+
+	mp, err := harness.MeasureMultipath()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("multipath: route discoveries across diamond link failure: base=%d multipath=%d\n",
+		mp.BaseDiscoveries, mp.MultipathDiscoveries)
+	return nil
+}

@@ -1,0 +1,60 @@
+// Command mkreuse regenerates the paper's code-reuse analysis from this
+// repository's own sources: Table 3 (reused generic components per
+// protocol composition) and Fig 7 (proportion of reusable code).
+//
+//	mkreuse            # Table 3 + Fig 7
+//	mkreuse -fig 7     # Fig 7 only
+//	mkreuse -root DIR  # analyse a different checkout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"manetkit/internal/reuse"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "print only the given figure (7)")
+	root := flag.String("root", "", "repository root (default: walk up to go.mod)")
+	flag.Parse()
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findRoot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkreuse: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	report, err := reuse.Analyze(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mkreuse: %v\n", err)
+		os.Exit(1)
+	}
+	if *fig == 0 {
+		report.PrintTable3()
+		fmt.Println()
+	}
+	report.PrintFig7()
+}
+
+func findRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("go.mod not found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,102 @@
+// Hybrid deployment: both protocol families run simultaneously on every
+// node, sharing substrate components — the paper's simultaneous-deployment
+// goal plus the "leaner deployment" of §5.2, where a co-deployed DYMO
+// shares the MPR CF with OLSR instead of running its own Neighbour
+// Detection CF.
+//
+// The proactive side serves stable, frequently used destinations (routes
+// always installed); the reactive side covers everything else on demand —
+// a poor man's zone routing assembled purely by composition.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"manetkit"
+)
+
+func main() {
+	const nodes = 6
+	clk := manetkit.NewVirtualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	net := manetkit.NewNetwork(clk, 1)
+	addrs := manetkit.Addrs(nodes)
+
+	stacks, err := manetkit.NewStacks(net, addrs, manetkit.StackOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		for _, s := range stacks {
+			s.Close()
+		}
+	}()
+	if err := manetkit.BuildLine(net, addrs, manetkit.DefaultQuality()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy OLSR first (bringing the MPR CF), then DYMO — which detects
+	// the MPR CF and shares it: optimised RREQ flooding, no second
+	// HELLO-beacon protocol.
+	for _, s := range stacks {
+		if _, err := s.DeployOLSR(manetkit.OLSRConfig{}); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := s.DeployDYMO(manetkit.DYMOConfig{}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("deployed OLSR+DYMO simultaneously on", nodes, "nodes")
+	fmt.Println("units on node 1:", stacks[0].Manager().Units())
+
+	clk.Advance(30 * time.Second)
+
+	// The proactive side has already installed every route.
+	fmt.Printf("OLSR routes on node 1 after convergence: %d\n",
+		stacks[0].OLSRUnit().Routes().ValidCount())
+
+	var mu sync.Mutex
+	delivered := 0
+	stacks[nodes-1].OnDeliver(func(src manetkit.Addr, payload []byte) {
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
+
+	// Data rides the OLSR-installed kernel routes; DYMO never needs to
+	// discover because the FIB already resolves (its NO_ROUTE trigger
+	// stays silent).
+	for i := 0; i < 3; i++ {
+		if err := stacks[0].SendData(addrs[nodes-1], []byte(fmt.Sprintf("pkt-%d", i))); err != nil {
+			log.Fatal(err)
+		}
+		clk.Advance(100 * time.Millisecond)
+	}
+	mu.Lock()
+	fmt.Printf("delivered %d/3 data packets over proactive routes\n", delivered)
+	mu.Unlock()
+	fmt.Printf("DYMO discoveries so far on node 1: %d (proactive side answered first)\n",
+		stacks[0].DYMOUnit().State().Stats().Discoveries)
+
+	// Now the proactive zone fails locally: OLSR is undeployed on the two
+	// end nodes (say, to save their battery). The reactive side takes over
+	// for them transparently.
+	fmt.Println("undeploying OLSR on the end nodes; DYMO takes over")
+	for _, i := range []int{0, nodes - 1} {
+		if err := stacks[i].UndeployOLSR(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	clk.Advance(20 * time.Second) // old proactive routes age out of the FIB
+
+	if err := stacks[0].SendData(addrs[nodes-1], []byte("reactive now")); err != nil {
+		log.Fatal(err)
+	}
+	clk.Advance(2 * time.Second)
+	mu.Lock()
+	fmt.Printf("delivered %d/4 total; node 1 DYMO discoveries: %d\n",
+		delivered, stacks[0].DYMOUnit().State().Stats().Discoveries)
+	mu.Unlock()
+}

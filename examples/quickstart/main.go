@@ -1,0 +1,72 @@
+// Quickstart: build a five-node emulated MANET in a line (the paper's
+// testbed topology), deploy the reactive DYMO composition on every node,
+// and send data end-to-end — the route is discovered on demand, buffered
+// packets are re-injected on ROUTE_FOUND, and the multi-hop path shows up
+// in every node's simulated kernel FIB.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"manetkit"
+)
+
+func main() {
+	const nodes = 5
+
+	// A deterministic virtual clock makes the whole run reproducible; swap
+	// in manetkit.RealClock() to run in wall time.
+	clk := manetkit.NewVirtualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	net := manetkit.NewNetwork(clk, 1)
+	addrs := manetkit.Addrs(nodes)
+
+	stacks, err := manetkit.NewStacks(net, addrs, manetkit.StackOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		for _, s := range stacks {
+			s.Close()
+		}
+	}()
+	if err := manetkit.BuildLine(net, addrs, manetkit.DefaultQuality()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy DYMO (with its Neighbour Detection CF) on every node.
+	for _, s := range stacks {
+		if _, err := s.DeployDYMO(manetkit.DYMOConfig{}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("deployed DYMO on", nodes, "nodes: 10.0.0.1 - 10.0.0.2 - ... -", addrs[nodes-1])
+
+	// Receive upcall at the far end.
+	stacks[nodes-1].OnDeliver(func(src manetkit.Addr, payload []byte) {
+		fmt.Printf("node %v received %q from %v (4 hops away)\n",
+			addrs[nodes-1], payload, src)
+	})
+
+	// Let neighbour sensing settle, then send: no route exists, so the
+	// packet filter buffers the packet and DYMO floods a route request.
+	clk.Advance(3 * time.Second)
+	start := clk.Now()
+	if err := stacks[0].SendData(addrs[nodes-1], []byte("hello multi-hop world")); err != nil {
+		log.Fatal(err)
+	}
+	clk.Advance(time.Second)
+
+	d := stacks[0].DYMOUnit()
+	if _, path, err := d.Routes().Lookup(addrs[nodes-1]); err == nil {
+		fmt.Printf("route discovered: %v via %v, %d hops\n", addrs[nodes-1], path.NextHop, path.Metric)
+	}
+	fmt.Printf("discovery + delivery completed within %v of simulated time\n",
+		clk.Now().Sub(start))
+
+	fmt.Println("\nkernel FIB on the first node:")
+	for _, r := range stacks[0].System().FIB().List() {
+		fmt.Printf("  %v via %v metric %d (%s)\n", r.Dst, r.NextHop, r.Metric, r.Proto)
+	}
+}

@@ -1,0 +1,3 @@
+module manetkit
+
+go 1.22

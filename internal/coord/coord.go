@@ -1,0 +1,130 @@
+// Package coord implements the coordinated distributed dynamic
+// reconfiguration the paper lists as future work (§7: "coordinated
+// distributed dynamic reconfiguration as well as merely per-node
+// reconfiguration"). It runs a reconfiguration across a set of nodes over
+// the management backplane (direct in-process access — the analogue of the
+// testbed's Ethernet management network) with two-phase semantics:
+//
+//  1. Prepare: every member checks feasibility; any veto aborts the whole
+//     reconfiguration before anything changes.
+//  2. Apply: members are reconfigured in order; a failure rolls back the
+//     members already reconfigured (in reverse order) via Undo.
+//
+// Per-node safety (quiescence of the protocols being touched) is provided
+// by the framework itself — Manager/Protocol operations take the affected
+// critical sections; the coordinator adds cross-node atomicity.
+package coord
+
+import (
+	"errors"
+	"fmt"
+
+	"manetkit/internal/core"
+)
+
+// Member is one participating node.
+type Member struct {
+	// Name identifies the node in errors and the transcript.
+	Name string
+	// Mgr is the node's Framework Manager.
+	Mgr *core.Manager
+}
+
+// Action is one distributed reconfiguration.
+type Action struct {
+	// Name identifies the action in errors and the transcript.
+	Name string
+	// Prepare (optional) checks feasibility without mutating; any error
+	// vetoes the whole action.
+	Prepare func(m *Member) error
+	// Apply enacts the reconfiguration on one member.
+	Apply func(m *Member) error
+	// Undo (optional) reverts Apply during rollback.
+	Undo func(m *Member) error
+}
+
+// StepKind classifies transcript entries.
+type StepKind uint8
+
+// Transcript step kinds.
+const (
+	StepPrepare StepKind = iota + 1
+	StepApply
+	StepUndo
+)
+
+// String implements fmt.Stringer.
+func (k StepKind) String() string {
+	switch k {
+	case StepPrepare:
+		return "prepare"
+	case StepApply:
+		return "apply"
+	case StepUndo:
+		return "undo"
+	default:
+		return "unknown"
+	}
+}
+
+// Step is one transcript entry.
+type Step struct {
+	Kind   StepKind
+	Member string
+	Err    error
+}
+
+// Result reports a coordinated run: whether it committed, and the full
+// step transcript (useful for the §7-style experimentation the paper
+// anticipates).
+type Result struct {
+	Committed  bool
+	Transcript []Step
+}
+
+// ErrVetoed reports that a member's Prepare refused the action.
+var ErrVetoed = errors.New("coord: action vetoed in prepare phase")
+
+// ErrRollback reports an Apply failure; the wrapped error chain includes
+// the cause and any rollback failures.
+var ErrRollback = errors.New("coord: action failed and was rolled back")
+
+// Run executes the action across the members with two-phase semantics.
+func Run(members []*Member, act Action) (Result, error) {
+	var res Result
+	if act.Apply == nil {
+		return res, errors.New("coord: action needs an Apply")
+	}
+	// Phase 1: prepare.
+	if act.Prepare != nil {
+		for _, m := range members {
+			err := act.Prepare(m)
+			res.Transcript = append(res.Transcript, Step{Kind: StepPrepare, Member: m.Name, Err: err})
+			if err != nil {
+				return res, fmt.Errorf("%w: %s on %q: %v", ErrVetoed, act.Name, m.Name, err)
+			}
+		}
+	}
+	// Phase 2: apply with rollback.
+	for i, m := range members {
+		err := act.Apply(m)
+		res.Transcript = append(res.Transcript, Step{Kind: StepApply, Member: m.Name, Err: err})
+		if err == nil {
+			continue
+		}
+		rollbackErrs := []error{fmt.Errorf("%s on %q: %w", act.Name, m.Name, err)}
+		if act.Undo != nil {
+			for j := i - 1; j >= 0; j-- {
+				uerr := act.Undo(members[j])
+				res.Transcript = append(res.Transcript, Step{Kind: StepUndo, Member: members[j].Name, Err: uerr})
+				if uerr != nil {
+					rollbackErrs = append(rollbackErrs,
+						fmt.Errorf("undo on %q: %w", members[j].Name, uerr))
+				}
+			}
+		}
+		return res, fmt.Errorf("%w: %w", ErrRollback, errors.Join(rollbackErrs...))
+	}
+	res.Committed = true
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"manetkit/internal/event"
+	"manetkit/internal/mnet"
+	"manetkit/internal/vclock"
+)
+
+func benchManager(b *testing.B, model Model) *Manager {
+	b.Helper()
+	m, err := NewManager(Config{
+		Node:  mnet.MustParseAddr("10.0.0.1"),
+		Clock: vclock.NewVirtual(epoch),
+		Model: model,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(m.Close)
+	return m
+}
+
+func deployPair(b *testing.B, m *Manager) *Protocol {
+	b.Helper()
+	src := NewProtocol("src")
+	src.SetTuple(event.Tuple{Provided: []event.Type{event.HelloIn}})
+	sink := NewProtocol("sink")
+	sink.SetTuple(event.Tuple{Required: []event.Requirement{{Type: event.HelloIn}}})
+	sink.AddHandler(NewHandler("h", event.HelloIn, func(*Context, *event.Event) error { return nil }))
+	for _, p := range []*Protocol{src, sink} {
+		if err := m.Deploy(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return src
+}
+
+// BenchmarkEmitDirect measures the provider->requirer path.
+func BenchmarkEmitDirect(b *testing.B) {
+	m := benchManager(b, SingleThreaded)
+	src := deployPair(b, m)
+	ev := &event.Event{Type: event.HelloIn}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = src.Emit(ev)
+	}
+}
+
+// BenchmarkEmitThroughInterposer adds one interposer to the path.
+func BenchmarkEmitThroughInterposer(b *testing.B) {
+	m := benchManager(b, SingleThreaded)
+	src := deployPair(b, m)
+	inter := NewProtocol("inter")
+	inter.SetTuple(event.Tuple{
+		Required: []event.Requirement{{Type: event.HelloIn}},
+		Provided: []event.Type{event.HelloIn},
+	})
+	inter.AddHandler(NewHandler("fwd", event.HelloIn, func(ctx *Context, ev *event.Event) error {
+		ctx.Emit(ev)
+		return nil
+	}))
+	if err := m.Deploy(inter); err != nil {
+		b.Fatal(err)
+	}
+	ev := &event.Event{Type: event.HelloIn}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = src.Emit(ev)
+	}
+}
+
+// BenchmarkEmitPerMessage measures the goroutine-shepherded path.
+func BenchmarkEmitPerMessage(b *testing.B) {
+	m := benchManager(b, PerMessage)
+	src := deployPair(b, m)
+	ev := &event.Event{Type: event.HelloIn}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = src.Emit(ev)
+	}
+	b.StopTimer()
+	m.WaitIdle()
+}
+
+// BenchmarkRewire measures topology re-derivation for a 6-unit deployment.
+func BenchmarkRewire(b *testing.B) {
+	m := benchManager(b, SingleThreaded)
+	types := []event.Type{event.HelloIn, event.TCIn, event.REIn, event.TCOut, event.HelloOut}
+	for i, name := range []string{"a", "b", "c", "d", "e", "f"} {
+		p := NewProtocol(name)
+		p.SetTuple(event.Tuple{
+			Required: []event.Requirement{{Type: types[i%len(types)]}},
+			Provided: []event.Type{types[(i+2)%len(types)]},
+		})
+		if err := m.Deploy(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Rewire()
+	}
+}
+
+// BenchmarkTicketMutexHandoff measures the FIFO lock's direct handoff.
+func BenchmarkTicketMutexHandoff(b *testing.B) {
+	var tm TicketMutex
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tm.Lock()
+			tm.Unlock() //nolint:staticcheck // empty section is the measurement
+		}
+	})
+}

@@ -1,0 +1,813 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"manetkit/internal/event"
+	"manetkit/internal/kernel"
+	"manetkit/internal/mnet"
+	"manetkit/internal/pool"
+	"manetkit/internal/queue"
+	"manetkit/internal/vclock"
+)
+
+// Model selects the concurrency model applied to event delivery (§4.4).
+type Model uint8
+
+// The concurrency models of §4.4. They govern events travelling up from
+// the System CF; callers above MANETKit may always use multiple goroutines.
+const (
+	// SingleThreaded delivers every event inline on the emitting
+	// goroutine: no races by construction, minimal resources (the model
+	// the paper suggests for sensor motes, and the one used for its
+	// comparative evaluation).
+	SingleThreaded Model = iota + 1
+	// PerMessage shepherds each delivery with its own goroutine; FIFO
+	// order per unit is preserved by ticket locks drawn at emission time.
+	PerMessage
+	// PerN drains deliveries through a fixed worker pool —
+	// the thread-per-n-messages midpoint.
+	PerN
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case SingleThreaded:
+		return "single-threaded"
+	case PerMessage:
+		return "thread-per-message"
+	case PerN:
+		return "thread-per-n-messages"
+	default:
+		return fmt.Sprintf("Model(%d)", uint8(m))
+	}
+}
+
+// Config parameterises a Manager.
+type Config struct {
+	// Node is the local node address (required).
+	Node mnet.Addr
+	// Clock is the deployment's time source; defaults to vclock.Real().
+	Clock vclock.Clock
+	// Ontology defaults to event.NewOntology().
+	Ontology *event.Ontology
+	// Model defaults to SingleThreaded.
+	Model Model
+	// PoolSize sizes the PerN worker pool (default 2).
+	PoolSize int
+	// QueueBound bounds each dedicated per-protocol queue (default 1024).
+	QueueBound int
+}
+
+// ManagerStats counts framework activity.
+type ManagerStats struct {
+	Emitted   uint64 // events entering the framework
+	Delivered uint64 // unit deliveries
+	Dropped   uint64 // deliveries dropped (queue overflow, no chain)
+	Rewires   uint64 // topology re-derivations
+}
+
+// terminal is one end-of-chain requirer.
+type terminal struct {
+	name      string
+	exclusive bool
+}
+
+// chain is the derived delivery path for one concrete event type:
+// providers feed the interposer sequence, which feeds the terminals.
+type chain struct {
+	providers   map[string]bool
+	interposers []string
+	terminals   []terminal
+}
+
+// unitRec tracks one deployed unit.
+type unitRec struct {
+	unit Unit
+	// dedicated is non-nil when the unit runs the thread-per-ManetProtocol
+	// model: its own goroutine draining a FIFO queue.
+	dedicated *dedicatedRunner
+}
+
+// Manager is the MANETKit CF plus its Framework Manager (Fig 2): the
+// top-level composite in which ManetProtocol instances and the System CF
+// are deployed, and the machinery that derives receptacle-to-interface
+// bindings from event tuples, routes events (broadcast, exclusive receive,
+// interposition, loop avoidance), applies the selected concurrency model,
+// and enacts reconfiguration.
+type Manager struct {
+	cf   *kernel.CF
+	node mnet.Addr
+	clk  vclock.Clock
+	ont  *event.Ontology
+
+	mu       sync.Mutex
+	model    Model
+	units    map[string]*unitRec
+	order    []string // deployment order: interposer chains follow it
+	chains   map[event.Type]*chain
+	bindings map[kernel.BindingInfo]*kernel.Binding
+	subs     []ctxSub
+	pollers  []*vclock.Periodic
+	stats    ManagerStats
+	closed   bool
+	sealed   bool
+
+	workers  *pool.Pool
+	poolSize int
+	qBound   int
+	inflight sync.WaitGroup
+
+	// Single-threaded delivery queue: inline deliveries are drained in
+	// FIFO order by whichever goroutine first enters the framework, so a
+	// handler-emitted event destined for a unit already on the call stack
+	// is processed after the current delivery instead of deadlocking on
+	// the unit's critical section ("the same thread is used to call each
+	// ManetProtocol instance in turn", §4.4).
+	inlineQ  queue.Ring[inlineDelivery]
+	draining bool
+}
+
+type inlineDelivery struct {
+	rec *unitRec
+	ev  *event.Event
+}
+
+type ctxSub struct {
+	pattern event.Type
+	fn      func(*event.Event)
+}
+
+// NewManager creates a MANETKit deployment for one node.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Node.IsUnspecified() || cfg.Node.IsBroadcast() {
+		return nil, fmt.Errorf("core: invalid node address %v", cfg.Node)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real()
+	}
+	if cfg.Ontology == nil {
+		cfg.Ontology = event.NewOntology()
+	}
+	if cfg.Model == 0 {
+		cfg.Model = SingleThreaded
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 2
+	}
+	if cfg.QueueBound <= 0 {
+		cfg.QueueBound = 1024
+	}
+	m := &Manager{
+		cf:       kernel.NewCF("manetkit"),
+		node:     cfg.Node,
+		clk:      cfg.Clock,
+		ont:      cfg.Ontology,
+		model:    cfg.Model,
+		units:    make(map[string]*unitRec),
+		chains:   make(map[event.Type]*chain),
+		bindings: make(map[kernel.BindingInfo]*kernel.Binding),
+		poolSize: cfg.PoolSize,
+		qBound:   cfg.QueueBound,
+	}
+	return m, nil
+}
+
+// Node returns the local node address.
+func (m *Manager) Node() mnet.Addr { return m.node }
+
+// Clock returns the deployment clock.
+func (m *Manager) Clock() vclock.Clock { return m.clk }
+
+// Ontology returns the deployment's event ontology.
+func (m *Manager) Ontology() *event.Ontology { return m.ont }
+
+// CF exposes the MANETKit CF's architecture meta-model: the deployed units
+// and the event bindings derived from their tuples.
+func (m *Manager) CF() *kernel.CF { return m.cf }
+
+// SetModel switches the global concurrency model. Deliveries already in
+// flight complete under the old model; FIFO order per unit is preserved
+// across the switch because tickets are model-independent.
+func (m *Manager) SetModel(mod Model) error {
+	if mod < SingleThreaded || mod > PerN {
+		return fmt.Errorf("core: unknown concurrency model %d", mod)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.model = mod
+	if mod == PerN && m.workers == nil {
+		p, err := pool.New(m.poolSize, 0)
+		if err != nil {
+			return err
+		}
+		m.workers = p
+	}
+	return nil
+}
+
+// Model returns the current global concurrency model.
+func (m *Manager) Model() Model {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.model
+}
+
+// Deploy inserts a unit (a ManetProtocol CF or the System CF) into the
+// deployment and re-derives the event topology. Simultaneous deployment of
+// multiple protocols is simply multiple Deploy calls.
+func (m *Manager) Deploy(u Unit) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return errors.New("core: manager closed")
+	}
+	if _, ok := m.units[u.Name()]; ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: unit %q", kernel.ErrDuplicate, u.Name())
+	}
+	m.mu.Unlock()
+
+	if err := m.cf.Insert(u); err != nil {
+		return err
+	}
+	env := &Env{
+		Node:     m.node,
+		Clock:    m.clk,
+		Ontology: m.ont,
+		emit:     m.emit,
+		unit:     m.Unit,
+		retuple:  func(string) { m.Rewire() },
+	}
+	u.Attach(env)
+
+	rec := &unitRec{unit: u}
+	m.mu.Lock()
+	m.units[u.Name()] = rec
+	m.order = append(m.order, u.Name())
+	dedic := false
+	if p, ok := u.(*Protocol); ok && p.wantsDedicated() {
+		dedic = true
+	}
+	m.mu.Unlock()
+	if dedic {
+		if err := m.EnableDedicatedThread(u.Name()); err != nil {
+			return err
+		}
+	}
+	m.Rewire()
+	return nil
+}
+
+// Undeploy stops and removes the named unit and re-derives the topology.
+func (m *Manager) Undeploy(name string) error {
+	m.mu.Lock()
+	rec, ok := m.units[name]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: unit %q", kernel.ErrNoComponent, name)
+	}
+	delete(m.units, name)
+	for i, n := range m.order {
+		if n == name {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+
+	if rec.dedicated != nil {
+		rec.dedicated.stop()
+	}
+	rec.unit.Detach()
+	m.Rewire()
+	return m.cf.Remove(name)
+}
+
+// Unit implements unit lookup for direct calls.
+func (m *Manager) Unit(name string) (Unit, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.units[name]
+	if !ok {
+		return nil, false
+	}
+	return rec.unit, true
+}
+
+// Units lists deployed unit names in deployment order.
+func (m *Manager) Units() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.order...)
+}
+
+// EnableDedicatedThread switches the named unit to the
+// thread-per-ManetProtocol model: a dedicated goroutine drains a FIFO of
+// its events, and emitters hand off without blocking (§4.4).
+func (m *Manager) EnableDedicatedThread(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.units[name]
+	if !ok {
+		return fmt.Errorf("%w: unit %q", kernel.ErrNoComponent, name)
+	}
+	if rec.dedicated != nil {
+		return nil
+	}
+	rec.dedicated = newDedicatedRunner(m, rec.unit, m.qBound)
+	return nil
+}
+
+// DisableDedicatedThread reverts the unit to the global model.
+func (m *Manager) DisableDedicatedThread(name string) error {
+	m.mu.Lock()
+	rec, ok := m.units[name]
+	var d *dedicatedRunner
+	if ok {
+		d = rec.dedicated
+		rec.dedicated = nil
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: unit %q", kernel.ErrNoComponent, name)
+	}
+	if d != nil {
+		d.stop()
+	}
+	return nil
+}
+
+// Rewire re-derives the per-event-type delivery chains from the deployed
+// units' tuples and updates the MANETKit CF's reflective bindings to match
+// — the automatic, declarative reconfiguration of §4.2/§4.5.
+func (m *Manager) Rewire() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rewireLocked()
+}
+
+func (m *Manager) rewireLocked() {
+	m.stats.Rewires++
+	chains := make(map[event.Type]*chain)
+
+	// Collect the concrete provided types.
+	for _, name := range m.order {
+		u := m.units[name].unit
+		for _, t := range u.Tuple().Provided {
+			if chains[t] == nil {
+				chains[t] = &chain{providers: make(map[string]bool)}
+			}
+		}
+	}
+	for t, ch := range chains {
+		for _, name := range m.order {
+			tp := m.units[name].unit.Tuple()
+			provides := tp.Provides(t)
+			requires := tp.Requires(m.ont, t)
+			switch {
+			case provides && requires:
+				// Interposed in the t path; ordered by deployment, which
+				// also precludes loops (§4.2 footnote 2).
+				ch.interposers = append(ch.interposers, name)
+				ch.providers[name] = true
+			case provides:
+				ch.providers[name] = true
+			case requires:
+				excl := false
+				for _, r := range tp.Required {
+					if r.Exclusive && m.ont.Matches(t, r.Type) {
+						excl = true
+						break
+					}
+				}
+				ch.terminals = append(ch.terminals, terminal{name: name, exclusive: excl})
+			}
+		}
+	}
+	m.chains = chains
+	m.syncBindingsLocked()
+}
+
+// syncBindingsLocked mirrors the derived chains into kernel bindings on the
+// MANETKit CF so that the architecture meta-model shows the real topology.
+func (m *Manager) syncBindingsLocked() {
+	if m.sealed {
+		return
+	}
+	want := make(map[kernel.BindingInfo]bool)
+	types := make([]event.Type, 0, len(m.chains))
+	for t := range m.chains {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, t := range types {
+		ch := m.chains[t]
+		recept := "REvents"
+		iface := "IEventSink"
+		heads := make([]string, 0, len(ch.providers))
+		for p := range ch.providers {
+			if len(ch.interposers) > 0 && p == ch.interposers[len(ch.interposers)-1] {
+				continue // last interposer binds forward, handled below
+			}
+			isInterposer := false
+			for _, i := range ch.interposers {
+				if i == p {
+					isInterposer = true
+					break
+				}
+			}
+			if !isInterposer {
+				heads = append(heads, p)
+			}
+		}
+		sort.Strings(heads)
+		link := func(from, to string) {
+			if from == to {
+				return
+			}
+			want[kernel.BindingInfo{From: from, Receptacle: recept, To: to, Interface: iface}] = true
+		}
+		if len(ch.interposers) > 0 {
+			for _, p := range heads {
+				link(p, ch.interposers[0])
+			}
+			for i := 0; i+1 < len(ch.interposers); i++ {
+				link(ch.interposers[i], ch.interposers[i+1])
+			}
+			last := ch.interposers[len(ch.interposers)-1]
+			for _, term := range ch.terminals {
+				link(last, term.name)
+			}
+		} else {
+			for _, p := range heads {
+				for _, term := range ch.terminals {
+					link(p, term.name)
+				}
+			}
+		}
+	}
+	// Drop stale bindings, add missing ones.
+	for info, b := range m.bindings {
+		if !want[info] {
+			_ = m.cf.Unbind(b)
+			delete(m.bindings, info)
+		}
+	}
+	for info := range want {
+		if _, ok := m.bindings[info]; ok {
+			continue
+		}
+		b, err := m.cf.Bind(info.From, info.Receptacle, info.To, info.Interface)
+		if err != nil {
+			continue // reflective mirror is best-effort
+		}
+		m.bindings[info] = b
+	}
+}
+
+// emit routes ev from the named unit: through the remaining interposers for
+// its type, then to the terminals (broadcast or exclusive).
+func (m *Manager) emit(from string, ev *event.Event) {
+	m.mu.Lock()
+	m.stats.Emitted++
+	ch, ok := m.chains[ev.Type]
+	if !ok {
+		m.stats.Dropped++
+		m.mu.Unlock()
+		m.dispatchContextEvent(ev)
+		return
+	}
+	// Position of the emitter in the interposer chain.
+	next := 0
+	for i, name := range ch.interposers {
+		if name == from {
+			next = i + 1
+			break
+		}
+	}
+	if next < len(ch.interposers) {
+		rec := m.units[ch.interposers[next]]
+		model := m.model
+		m.mu.Unlock()
+		if rec != nil {
+			m.deliverBatch([]*unitRec{rec}, ev, model)
+		}
+		m.dispatchContextEvent(ev)
+		return
+	}
+	// Terminal stage.
+	var targets []*unitRec
+	exclusiveSeen := false
+	for _, term := range ch.terminals {
+		if term.name == from {
+			continue
+		}
+		if term.exclusive {
+			if rec := m.units[term.name]; rec != nil {
+				targets = []*unitRec{rec}
+				exclusiveSeen = true
+			}
+			break
+		}
+	}
+	if !exclusiveSeen {
+		for _, term := range ch.terminals {
+			if term.name == from {
+				continue
+			}
+			if rec := m.units[term.name]; rec != nil {
+				targets = append(targets, rec)
+			}
+		}
+	}
+	if len(targets) == 0 {
+		m.stats.Dropped++
+	}
+	model := m.model
+	m.mu.Unlock()
+
+	m.deliverBatch(targets, ev, model)
+	m.dispatchContextEvent(ev)
+}
+
+// deliverBatch hands ev to each target under the active concurrency model.
+// All targets are enqueued/ticketed before any processing starts, so the
+// per-unit FIFO order is the emission order even when handlers emit
+// further events mid-delivery.
+func (m *Manager) deliverBatch(targets []*unitRec, ev *event.Event, model Model) {
+	if model == SingleThreaded {
+		m.mu.Lock()
+		for _, rec := range targets {
+			m.stats.Delivered++
+			if rec.dedicated != nil {
+				m.mu.Unlock()
+				if !rec.dedicated.enqueue(ev) {
+					m.mu.Lock()
+					m.stats.Dropped++
+					m.mu.Unlock()
+				} else {
+					m.mu.Lock()
+				}
+				continue
+			}
+			m.inlineQ.Push(inlineDelivery{rec: rec, ev: ev})
+		}
+		if m.draining {
+			// An outer frame on this (or another) goroutine is already
+			// draining; it will pick these up in order.
+			m.mu.Unlock()
+			return
+		}
+		m.draining = true
+		for {
+			d, ok := m.inlineQ.Pop()
+			if !ok {
+				m.draining = false
+				m.mu.Unlock()
+				return
+			}
+			m.mu.Unlock()
+			sec := d.rec.unit.Section()
+			sec.Lock()
+			_ = d.rec.unit.Accept(d.ev)
+			sec.Unlock()
+			m.mu.Lock()
+		}
+	}
+	for _, rec := range targets {
+		m.deliver(rec, ev, model)
+	}
+}
+
+// deliver hands ev to one unit under an asynchronous concurrency model
+// (PerMessage/PerN), always inside the unit's critical section and in FIFO
+// emission order. SingleThreaded delivery goes through deliverBatch's
+// drain queue instead.
+func (m *Manager) deliver(rec *unitRec, ev *event.Event, model Model) {
+	m.mu.Lock()
+	m.stats.Delivered++
+	dedicated := rec.dedicated
+	m.mu.Unlock()
+
+	if dedicated != nil {
+		if !dedicated.enqueue(ev) {
+			m.mu.Lock()
+			m.stats.Dropped++
+			m.mu.Unlock()
+		}
+		return
+	}
+	sec := rec.unit.Section()
+	switch model {
+	case PerMessage:
+		ticket := sec.Ticket()
+		m.inflight.Add(1)
+		go func() {
+			defer m.inflight.Done()
+			sec.Wait(ticket)
+			defer sec.Unlock()
+			_ = rec.unit.Accept(ev)
+		}()
+	case PerN:
+		m.mu.Lock()
+		workers := m.workers
+		m.mu.Unlock()
+		if workers == nil {
+			_ = m.SetModel(PerN)
+			m.mu.Lock()
+			workers = m.workers
+			m.mu.Unlock()
+		}
+		ticket := sec.Ticket()
+		m.inflight.Add(1)
+		err := workers.Submit(func() {
+			defer m.inflight.Done()
+			sec.Wait(ticket)
+			defer sec.Unlock()
+			_ = rec.unit.Accept(ev)
+		})
+		if err != nil {
+			// Pool closed: account the ticket to keep the lock serviceable.
+			sec.Wait(ticket)
+			sec.Unlock()
+			m.inflight.Done()
+		}
+	default:
+		// Unreachable for SingleThreaded (deliverBatch owns that path);
+		// defensively route through the drain queue rather than risking a
+		// re-entrant section acquisition.
+		m.mu.Lock()
+		m.stats.Delivered-- // deliverBatch will re-count
+		m.mu.Unlock()
+		m.deliverBatch([]*unitRec{rec}, ev, SingleThreaded)
+	}
+}
+
+// WaitIdle blocks until all in-flight asynchronous deliveries (PerMessage,
+// PerN and dedicated queues) have drained. Synchronous deliveries are by
+// definition complete when emit returns.
+func (m *Manager) WaitIdle() {
+	m.inflight.Wait()
+	m.mu.Lock()
+	runners := make([]*dedicatedRunner, 0, len(m.units))
+	for _, rec := range m.units {
+		if rec.dedicated != nil {
+			runners = append(runners, rec.dedicated)
+		}
+	}
+	m.mu.Unlock()
+	for _, d := range runners {
+		d.waitIdle()
+	}
+}
+
+// Stats returns a snapshot of the framework counters.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Chain exposes the derived delivery chain for an event type (reflective,
+// for tests and tooling): the interposer order and the terminal names.
+func (m *Manager) Chain(t event.Type) (interposers, terminals []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch, ok := m.chains[t]
+	if !ok {
+		return nil, nil
+	}
+	interposers = append(interposers, ch.interposers...)
+	for _, term := range ch.terminals {
+		terminals = append(terminals, term.name)
+	}
+	return interposers, terminals
+}
+
+// SubscribeContext registers a callback with the Framework Manager's
+// context concentrator (§4.5): fn observes every event matching pattern
+// (typically event.Context or a concrete context type). Callbacks run
+// synchronously on the emitting goroutine; keep them light.
+func (m *Manager) SubscribeContext(pattern event.Type, fn func(*event.Event)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.subs = append(m.subs, ctxSub{pattern: pattern, fn: fn})
+}
+
+// AddContextPoller hides poll-based context sources behind the event facade
+// (§4.5): poll is invoked every interval and any non-nil event it returns
+// is fed to the concentrator's subscribers and the event topology.
+func (m *Manager) AddContextPoller(interval time.Duration, poll func() *event.Event) {
+	per := vclock.NewPeriodic(m.clk, interval, 0, int64(m.node.Uint32()), func() {
+		if ev := poll(); ev != nil {
+			m.emit("context-poller", ev)
+		}
+	})
+	m.mu.Lock()
+	m.pollers = append(m.pollers, per)
+	m.mu.Unlock()
+}
+
+func (m *Manager) dispatchContextEvent(ev *event.Event) {
+	m.mu.Lock()
+	subs := append([]ctxSub(nil), m.subs...)
+	m.mu.Unlock()
+	for _, s := range subs {
+		if m.ont.Matches(ev.Type, s.pattern) {
+			s.fn(ev)
+		}
+	}
+}
+
+// AddRule registers an integrity rule on the MANETKit CF — e.g. the
+// paper's example of ensuring only one reactive routing protocol instance
+// exists in a deployment (§4.2). Deployments violating the rule are
+// rejected and rolled back.
+func (m *Manager) AddRule(r kernel.IntegrityRule) error { return m.cf.AddRule(r) }
+
+// Seal unloads the deployment's reconfiguration machinery once the desired
+// configuration is reached (§6.2 footnote: "it is possible to unload the
+// OpenCom kernel to free up memory"): the MANETKit CF's kernel metadata,
+// the reflective binding mirror, integrity rules, and every deployed
+// protocol's inner CF metadata. Event routing keeps working; further
+// Deploy/Rewire calls become no-ops or fail.
+func (m *Manager) Seal() {
+	m.mu.Lock()
+	m.sealed = true
+	m.bindings = nil
+	recs := make([]*unitRec, 0, len(m.units))
+	for _, rec := range m.units {
+		recs = append(recs, rec)
+	}
+	m.mu.Unlock()
+	m.cf.Seal()
+	for _, rec := range recs {
+		if p, ok := rec.unit.(*Protocol); ok {
+			p.CF().Seal()
+		}
+	}
+}
+
+// Quiesce enters every deployed unit's critical section (in deployment
+// order) and returns a resume function — used for transactional
+// reconfiguration spanning multiple protocols.
+func (m *Manager) Quiesce() func() {
+	m.mu.Lock()
+	names := append([]string(nil), m.order...)
+	recs := make([]*unitRec, 0, len(names))
+	for _, n := range names {
+		recs = append(recs, m.units[n])
+	}
+	m.mu.Unlock()
+	var resumes []func()
+	for _, rec := range recs {
+		sec := rec.unit.Section()
+		sec.Lock()
+		resumes = append(resumes, sec.Unlock)
+	}
+	return func() {
+		for i := len(resumes) - 1; i >= 0; i-- {
+			resumes[i]()
+		}
+	}
+}
+
+// Close stops pollers, dedicated runners and the worker pool, and waits for
+// in-flight deliveries. The manager is unusable afterwards.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	pollers := m.pollers
+	m.pollers = nil
+	var dedicated []*dedicatedRunner
+	for _, rec := range m.units {
+		if rec.dedicated != nil {
+			dedicated = append(dedicated, rec.dedicated)
+			rec.dedicated = nil
+		}
+	}
+	workers := m.workers
+	m.workers = nil
+	m.mu.Unlock()
+
+	for _, p := range pollers {
+		p.Stop()
+	}
+	m.inflight.Wait()
+	for _, d := range dedicated {
+		d.stop()
+	}
+	if workers != nil {
+		workers.Close()
+	}
+}

@@ -1,0 +1,710 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"manetkit/internal/event"
+	"manetkit/internal/kernel"
+	"manetkit/internal/mnet"
+	"manetkit/internal/vclock"
+)
+
+// Handler is a plug-in event handler within a ManetProtocol CF — the unit
+// the paper's fine-grained reconfigurations swap (e.g. multipath DYMO
+// replaces the RE and RERR handlers, §5.2). Handlers run atomically inside
+// the protocol's critical section.
+type Handler interface {
+	kernel.Component
+	// Pattern returns the event type (possibly abstract) this handler
+	// consumes; the protocol's demux matches delivered events against it.
+	Pattern() event.Type
+	// Handle processes one event.
+	Handle(ctx *Context, ev *event.Event) error
+}
+
+// handlerComp is the standard Handler implementation: a named component
+// wrapping a handler function.
+type handlerComp struct {
+	base    *kernel.Base
+	pattern event.Type
+	fn      func(*Context, *event.Event) error
+}
+
+var _ Handler = (*handlerComp)(nil)
+
+// NewHandler builds a Handler component from a function.
+func NewHandler(name string, pattern event.Type, fn func(*Context, *event.Event) error) Handler {
+	return &handlerComp{base: kernel.NewBase(name), pattern: pattern, fn: fn}
+}
+
+func (h *handlerComp) Name() string                            { return h.base.Name() }
+func (h *handlerComp) Provided() map[string]any                { return h.base.Provided() }
+func (h *handlerComp) ReceptacleNames() []string               { return h.base.ReceptacleNames() }
+func (h *handlerComp) Connect(r string, i any) error           { return h.base.Connect(r, i) }
+func (h *handlerComp) Disconnect(r string, i any) error        { return h.base.Disconnect(r, i) }
+func (h *handlerComp) Pattern() event.Type                     { return h.pattern }
+func (h *handlerComp) Handle(c *Context, e *event.Event) error { return h.fn(c, e) }
+
+// Context is passed to handlers and event sources: the protocol's view of
+// its deployment.
+type Context struct {
+	proto *Protocol
+	env   *Env
+}
+
+// Node returns the local node address.
+func (c *Context) Node() mnet.Addr { return c.env.Node }
+
+// Clock returns the deployment clock.
+func (c *Context) Clock() vclock.Clock { return c.env.Clock }
+
+// Emit pushes an event from this protocol into the framework; the Framework
+// Manager routes it per the binding topology (interposers first, then
+// requirers).
+func (c *Context) Emit(ev *event.Event) { c.env.Emit(c.proto.Name(), ev) }
+
+// State returns the protocol's S element.
+func (c *Context) State() kernel.Component { return c.proto.StateElement() }
+
+// Forward returns the protocol's F element.
+func (c *Context) Forward() kernel.Component { return c.proto.ForwardElement() }
+
+// Env exposes the deployment environment for direct calls to co-deployed
+// units.
+func (c *Context) Env() *Env { return c.env }
+
+// Source is a timer-driven event source (the paper's Event Source
+// components, e.g. the TC Generator): it fires periodically, inside the
+// protocol's critical section.
+type Source struct {
+	base      *kernel.Base
+	interval  time.Duration
+	jitter    float64
+	immediate bool
+	fn        func(*Context)
+
+	mu       sync.Mutex
+	periodic *vclock.Periodic
+	kick     vclock.Timer
+}
+
+var _ kernel.Component = (*Source)(nil)
+
+// NewSource builds a Source component firing fn every interval with the
+// given fractional jitter.
+func NewSource(name string, interval time.Duration, jitter float64, fn func(*Context)) *Source {
+	return &Source{base: kernel.NewBase(name), interval: interval, jitter: jitter, fn: fn}
+}
+
+// Immediate makes the source fire once right after the protocol starts,
+// ahead of the first full interval — the behaviour of real routing daemons,
+// which beacon as soon as they come up. It returns s for chaining.
+func (s *Source) Immediate() *Source {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.immediate = true
+	return s
+}
+
+func (s *Source) Name() string                     { return s.base.Name() }
+func (s *Source) Provided() map[string]any         { return s.base.Provided() }
+func (s *Source) ReceptacleNames() []string        { return s.base.ReceptacleNames() }
+func (s *Source) Connect(r string, i any) error    { return s.base.Connect(r, i) }
+func (s *Source) Disconnect(r string, i any) error { return s.base.Disconnect(r, i) }
+
+// SetInterval retunes the firing cadence (used by e.g. fisheye variants).
+func (s *Source) SetInterval(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.interval = d
+	if s.periodic != nil {
+		s.periodic.SetInterval(d)
+	}
+}
+
+// Interval returns the current base interval.
+func (s *Source) Interval() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.periodic != nil {
+		return s.periodic.Interval()
+	}
+	return s.interval
+}
+
+func (s *Source) start(p *Protocol) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.periodic != nil {
+		return
+	}
+	env := p.env
+	if env == nil {
+		return
+	}
+	seed := int64(env.Node.Uint32()) ^ int64(len(s.Name())<<16)
+	fire := func() {
+		p.section.Lock()
+		defer p.section.Unlock()
+		if !p.running() {
+			return
+		}
+		s.fn(&Context{proto: p, env: p.env})
+	}
+	s.periodic = vclock.NewPeriodic(env.Clock, s.interval, s.jitter, seed, fire)
+	if s.immediate {
+		s.kick = env.Clock.AfterFunc(0, fire)
+	}
+}
+
+func (s *Source) stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.periodic != nil {
+		s.periodic.Stop()
+		s.periodic = nil
+	}
+	if s.kick != nil {
+		s.kick.Stop()
+		s.kick = nil
+	}
+}
+
+// Stats counts a protocol's event activity.
+type Stats struct {
+	Delivered uint64 // events accepted
+	Handled   uint64 // handler invocations
+	Errors    uint64 // handler errors
+}
+
+// Protocol is the generic ManetProtocol CF (§4.2, Fig 3), instantiated and
+// tailored per ad-hoc routing protocol. It hosts the protocol's plug-in
+// Event Handlers and Event Sources, its Forward and State elements, and the
+// ManetControl machinery: event registry (the tuple), demux, push/pop and
+// lifecycle control. It is a CF, so its composition is policed by integrity
+// rules (at most one C, F and S element) and reconfigurable at runtime.
+type Protocol struct {
+	cf      *kernel.CF
+	section TicketMutex
+
+	mu       sync.Mutex
+	tuple    event.Tuple
+	handlers []Handler
+	sources  []*Source
+	forward  kernel.Component
+	state    kernel.Component
+	env      *Env
+	started  bool
+	dedic    bool // prefer the thread-per-ManetProtocol model
+	stats    Stats
+
+	// lifecycle hooks a concrete protocol installs
+	onInit  func(ctx *Context) error
+	onStart func(ctx *Context) error
+	onStop  func(ctx *Context) error
+}
+
+var (
+	_ Unit              = (*Protocol)(nil)
+	_ kernel.Quiescable = (*Protocol)(nil)
+)
+
+// ErrNotDeployed is returned by lifecycle calls on an unattached protocol.
+var ErrNotDeployed = errors.New("core: protocol not deployed")
+
+// protocolSink adapts a Protocol to event.Sink with a comparable identity,
+// as required for kernel binding bookkeeping.
+type protocolSink struct{ p *Protocol }
+
+var _ event.Sink = (*protocolSink)(nil)
+
+// Deliver implements event.Sink.
+func (s *protocolSink) Deliver(ev *event.Event) error { return s.p.Accept(ev) }
+
+// NewProtocol creates an empty ManetProtocol CF with the standard integrity
+// rules.
+func NewProtocol(name string) *Protocol {
+	p := &Protocol{}
+	p.cf = kernel.NewCF(name,
+		kernel.RuleSingleton("control element", func(c string) bool { return c == "control" }),
+		kernel.RuleSingleton("forward element", func(c string) bool { return c == "forward" }),
+		kernel.RuleSingleton("state element", func(c string) bool { return c == "state" }),
+	)
+	// The ManetControl C component: generic lifecycle operations (§4.2).
+	control := kernel.NewBase("control")
+	control.Provide("IControl", p)
+	if err := p.cf.Insert(control); err != nil {
+		panic(fmt.Sprintf("core: inserting control element: %v", err))
+	}
+	p.cf.Provide("IEventSink", &protocolSink{p: p})
+	p.cf.Provide("IControl", p)
+	p.cf.DefineMultiReceptacle("REvents", nil, nil)
+	return p
+}
+
+// Name implements kernel.Component.
+func (p *Protocol) Name() string { return p.cf.Name() }
+
+// Provided implements kernel.Component.
+func (p *Protocol) Provided() map[string]any { return p.cf.Provided() }
+
+// ReceptacleNames implements kernel.Component.
+func (p *Protocol) ReceptacleNames() []string { return p.cf.ReceptacleNames() }
+
+// Connect implements kernel.Component.
+func (p *Protocol) Connect(r string, impl any) error { return p.cf.Connect(r, impl) }
+
+// Disconnect implements kernel.Component.
+func (p *Protocol) Disconnect(r string, impl any) error { return p.cf.Disconnect(r, impl) }
+
+// Provide exports an additional interface on the protocol boundary (e.g. a
+// typed IState facade for direct calls from other protocols).
+func (p *Protocol) Provide(name string, impl any) { p.cf.Provide(name, impl) }
+
+// CF exposes the protocol's architecture meta-model (ICFMeta).
+func (p *Protocol) CF() *kernel.CF { return p.cf }
+
+// Section implements Unit.
+func (p *Protocol) Section() *TicketMutex { return &p.section }
+
+// Quiesce implements kernel.Quiescable by entering the protocol's critical
+// section: any in-flight handler completes first, further event-shepherding
+// threads queue behind the reconfiguration (§4.5).
+func (p *Protocol) Quiesce() func() {
+	p.section.Lock()
+	return p.section.Unlock
+}
+
+// SetTuple declares the protocol's <required, provided> events. When the
+// protocol is deployed, the Framework Manager re-derives the binding
+// topology immediately (declarative reconfiguration, §4.5).
+func (p *Protocol) SetTuple(t event.Tuple) {
+	p.mu.Lock()
+	p.tuple = t
+	env := p.env
+	p.mu.Unlock()
+	if env != nil && env.retuple != nil {
+		env.retuple(p.Name())
+	}
+}
+
+// Tuple implements Unit.
+func (p *Protocol) Tuple() event.Tuple {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tuple
+}
+
+// OnInit, OnStart and OnStop install lifecycle hooks (run inside the
+// critical section).
+func (p *Protocol) OnInit(fn func(*Context) error)  { p.mu.Lock(); p.onInit = fn; p.mu.Unlock() }
+func (p *Protocol) OnStart(fn func(*Context) error) { p.mu.Lock(); p.onStart = fn; p.mu.Unlock() }
+func (p *Protocol) OnStop(fn func(*Context) error)  { p.mu.Lock(); p.onStop = fn; p.mu.Unlock() }
+
+// PreferDedicatedThread opts this protocol into the
+// thread-per-ManetProtocol concurrency model, independent of the global
+// model (§4.4).
+func (p *Protocol) PreferDedicatedThread(on bool) {
+	p.mu.Lock()
+	p.dedic = on
+	p.mu.Unlock()
+}
+
+func (p *Protocol) wantsDedicated() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dedic
+}
+
+// AddHandler plugs an event handler into the protocol.
+func (p *Protocol) AddHandler(h Handler) error {
+	if err := p.cf.Insert(h); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.handlers = append(p.handlers, h)
+	p.mu.Unlock()
+	return nil
+}
+
+// RemoveHandler unplugs the named handler.
+func (p *Protocol) RemoveHandler(name string) error {
+	if err := p.cf.Remove(name); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, h := range p.handlers {
+		if h.Name() == name {
+			p.handlers = append(p.handlers[:i], p.handlers[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// ReplaceHandler atomically swaps the named handler for h, quiescing the
+// protocol first — the paper's fine-grained reconfiguration enactment.
+func (p *Protocol) ReplaceHandler(name string, h Handler) error {
+	resume := p.Quiesce()
+	defer resume()
+	if err := p.cf.Replace(name, h); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, old := range p.handlers {
+		if old.Name() == name {
+			p.handlers[i] = h
+			return nil
+		}
+	}
+	p.handlers = append(p.handlers, h)
+	return nil
+}
+
+// Handlers returns the current handler plug-ins in registration order.
+func (p *Protocol) Handlers() []Handler {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Handler(nil), p.handlers...)
+}
+
+// AddSource plugs in a timer-driven event source; it starts firing
+// immediately if the protocol is already started.
+func (p *Protocol) AddSource(s *Source) error {
+	if err := p.cf.Insert(s); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.sources = append(p.sources, s)
+	started := p.started
+	p.mu.Unlock()
+	if started {
+		s.start(p)
+	}
+	return nil
+}
+
+// RemoveSource stops and unplugs the named source.
+func (p *Protocol) RemoveSource(name string) error {
+	p.mu.Lock()
+	var src *Source
+	for i, s := range p.sources {
+		if s.Name() == name {
+			src = s
+			p.sources = append(p.sources[:i], p.sources[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	if src != nil {
+		src.stop()
+	}
+	return p.cf.Remove(name)
+}
+
+// Source returns the named source plug-in.
+func (p *Protocol) Source(name string) (*Source, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.sources {
+		if s.Name() == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// SetForward installs the protocol's F element (component name "forward").
+func (p *Protocol) SetForward(c kernel.Component) error { return p.setElement("forward", c) }
+
+// SetState installs the protocol's S element (component name "state").
+// Passing the S element of a previous protocol instance implements the
+// paper's state carry-over (§4.5).
+func (p *Protocol) SetState(c kernel.Component) error { return p.setElement("state", c) }
+
+func (p *Protocol) setElement(kind string, c kernel.Component) error {
+	if c.Name() != kind {
+		return fmt.Errorf("core: %s element must be named %q, got %q", kind, kind, c.Name())
+	}
+	p.mu.Lock()
+	var cur kernel.Component
+	if kind == "forward" {
+		cur = p.forward
+	} else {
+		cur = p.state
+	}
+	p.mu.Unlock()
+
+	var err error
+	if cur != nil {
+		resume := p.Quiesce()
+		err = p.cf.Replace(kind, c)
+		resume()
+	} else {
+		err = p.cf.Insert(c)
+	}
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if kind == "forward" {
+		p.forward = c
+	} else {
+		p.state = c
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// DetachState removes and returns the S element so it can be carried over
+// into a replacement protocol instance.
+func (p *Protocol) DetachState() (kernel.Component, error) {
+	p.mu.Lock()
+	s := p.state
+	p.mu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("%w: no state element", kernel.ErrNoComponent)
+	}
+	resume := p.Quiesce()
+	defer resume()
+	if err := p.cf.Remove("state"); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.state = nil
+	p.mu.Unlock()
+	return s, nil
+}
+
+// StateElement returns the S element (nil if unset).
+func (p *Protocol) StateElement() kernel.Component {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+// ForwardElement returns the F element (nil if unset).
+func (p *Protocol) ForwardElement() kernel.Component {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.forward
+}
+
+// Attach implements Unit.
+func (p *Protocol) Attach(env *Env) {
+	p.mu.Lock()
+	p.env = env
+	p.mu.Unlock()
+}
+
+// Detach implements Unit.
+func (p *Protocol) Detach() {
+	p.Stop()
+	p.mu.Lock()
+	p.env = nil
+	p.mu.Unlock()
+}
+
+// Deployed reports whether the protocol is attached to a Manager.
+func (p *Protocol) Deployed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.env != nil
+}
+
+func (p *Protocol) running() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.started
+}
+
+// Init runs the protocol's initialisation hook (IControl.init).
+func (p *Protocol) Init() error {
+	p.mu.Lock()
+	env, fn := p.env, p.onInit
+	p.mu.Unlock()
+	if env == nil {
+		return ErrNotDeployed
+	}
+	if fn == nil {
+		return nil
+	}
+	p.section.Lock()
+	defer p.section.Unlock()
+	return fn(&Context{proto: p, env: env})
+}
+
+// Start begins protocol execution: the start hook runs and the event
+// sources begin firing.
+func (p *Protocol) Start() error {
+	p.mu.Lock()
+	if p.env == nil {
+		p.mu.Unlock()
+		return ErrNotDeployed
+	}
+	if p.started {
+		p.mu.Unlock()
+		return nil
+	}
+	p.started = true
+	env := p.env
+	fn := p.onStart
+	sources := append([]*Source(nil), p.sources...)
+	p.mu.Unlock()
+
+	if fn != nil {
+		p.section.Lock()
+		err := fn(&Context{proto: p, env: env})
+		p.section.Unlock()
+		if err != nil {
+			p.mu.Lock()
+			p.started = false
+			p.mu.Unlock()
+			return err
+		}
+	}
+	for _, s := range sources {
+		s.start(p)
+	}
+	return nil
+}
+
+// Stop halts the sources and runs the stop hook. Stop is idempotent.
+func (p *Protocol) Stop() {
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		return
+	}
+	p.started = false
+	env := p.env
+	fn := p.onStop
+	sources := append([]*Source(nil), p.sources...)
+	p.mu.Unlock()
+
+	for _, s := range sources {
+		s.stop()
+	}
+	if fn != nil && env != nil {
+		p.section.Lock()
+		defer p.section.Unlock()
+		_ = fn(&Context{proto: p, env: env})
+	}
+}
+
+// Started reports whether the protocol is running.
+func (p *Protocol) Started() bool { return p.running() }
+
+// Clock returns the deployment clock, or nil before the protocol is
+// deployed.
+func (p *Protocol) Clock() vclock.Clock {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.env == nil {
+		return nil
+	}
+	return p.env.Clock
+}
+
+// Emit pushes an event from this protocol into the framework from outside a
+// handler — the ManetControl push operation (IPush). Used by components that
+// receive stimuli from below the framework, such as the System CF's network
+// driver upcall.
+func (p *Protocol) Emit(ev *event.Event) error {
+	p.mu.Lock()
+	env := p.env
+	p.mu.Unlock()
+	if env == nil {
+		return ErrNotDeployed
+	}
+	env.Emit(p.Name(), ev)
+	return nil
+}
+
+// RunLocked executes fn inside the protocol's critical section with a
+// deployment context. Timer callbacks (e.g. route-discovery retries) use it
+// to interact with protocol state under the same atomicity guarantee as
+// event handlers.
+func (p *Protocol) RunLocked(fn func(*Context)) error {
+	p.mu.Lock()
+	env := p.env
+	p.mu.Unlock()
+	if env == nil {
+		return ErrNotDeployed
+	}
+	p.section.Lock()
+	defer p.section.Unlock()
+	fn(&Context{proto: p, env: env})
+	return nil
+}
+
+// Accept implements Unit: the demux dispatches the event to every handler
+// whose pattern matches. The Framework Manager holds the critical section
+// when calling Accept, so handler execution is atomic.
+func (p *Protocol) Accept(ev *event.Event) error {
+	p.mu.Lock()
+	env := p.env
+	if env == nil {
+		p.mu.Unlock()
+		return ErrNotDeployed
+	}
+	handlers := append([]Handler(nil), p.handlers...)
+	p.stats.Delivered++
+	p.mu.Unlock()
+
+	ctx := &Context{proto: p, env: env}
+	var errs []error
+	for _, h := range handlers {
+		if !env.Ontology.Matches(ev.Type, h.Pattern()) {
+			continue
+		}
+		p.mu.Lock()
+		p.stats.Handled++
+		p.mu.Unlock()
+		if err := h.Handle(ctx, ev); err != nil {
+			p.mu.Lock()
+			p.stats.Errors++
+			p.mu.Unlock()
+			errs = append(errs, fmt.Errorf("handler %q: %w", h.Name(), err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Stats returns a snapshot of the protocol's event counters.
+func (p *Protocol) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Reconfigure quiesces the protocol and runs fn — arbitrary fine-grained
+// reconfiguration under mutual exclusion with event processing.
+func (p *Protocol) Reconfigure(fn func() error) error {
+	resume := p.Quiesce()
+	defer resume()
+	return fn()
+}
+
+// String renders a short diagnostic description.
+func (p *Protocol) String() string {
+	t := p.Tuple()
+	var req, prov []string
+	for _, r := range t.Required {
+		s := string(r.Type)
+		if r.Exclusive {
+			s += "!"
+		}
+		req = append(req, s)
+	}
+	for _, pr := range t.Provided {
+		prov = append(prov, string(pr))
+	}
+	return fmt.Sprintf("%s<req:%s prov:%s>", p.Name(), strings.Join(req, ","), strings.Join(prov, ","))
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+
+	"manetkit/internal/event"
+)
+
+// NewSniffer builds a diagnostic unit that observes every event flowing
+// through the deployment it is deployed into — the packet-capture analogue
+// at the framework layer. It declares a required-events set of just
+// event.Any, so the ontology routes every concrete type to it; it provides
+// nothing, so it never perturbs the topology.
+//
+// fn runs inside the sniffer's own critical section (not the observed
+// protocols'), so a slow observer cannot distort protocol atomicity —
+// though under the single-threaded model it still shares the one delivery
+// thread.
+func NewSniffer(name string, fn func(ev *event.Event)) *Protocol {
+	if name == "" {
+		name = "sniffer"
+	}
+	p := NewProtocol(name)
+	p.SetTuple(event.Tuple{Required: []event.Requirement{{Type: event.Any}}})
+	if err := p.AddHandler(NewHandler(name+"-tap", event.Any, func(ctx *Context, ev *event.Event) error {
+		fn(ev)
+		return nil
+	})); err != nil {
+		panic(fmt.Sprintf("core: sniffer handler: %v", err))
+	}
+	return p
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"manetkit/internal/event"
+)
+
+func TestSnifferSeesEverything(t *testing.T) {
+	m, _ := newMgr(t, SingleThreaded)
+	src := newRecorder(t, "src", event.Tuple{Provided: []event.Type{event.HelloIn, event.TCOut, event.PowerStatus}})
+	sink := newRecorder(t, "sink", event.Tuple{Required: []event.Requirement{{Type: event.HelloIn}}})
+	var seen []event.Type
+	sniff := NewSniffer("", func(ev *event.Event) { seen = append(seen, ev.Type) })
+	for _, u := range []*Protocol{src.p, sink.p, sniff} {
+		if err := m.Deploy(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, typ := range []event.Type{event.HelloIn, event.TCOut, event.PowerStatus} {
+		emitFrom(t, m, "src", &event.Event{Type: typ})
+	}
+	if len(seen) != 3 {
+		t.Fatalf("sniffer saw %v", seen)
+	}
+	// The regular requirer still got its event (sniffing is passive).
+	if len(sink.events()) != 1 {
+		t.Fatalf("sink got %v", sink.events())
+	}
+	// The sniffer provides nothing: no chain treats it as a provider.
+	if inter, _ := m.Chain(event.HelloIn); len(inter) != 0 {
+		t.Fatalf("sniffer interposed: %v", inter)
+	}
+}
+
+func TestSnifferDoesNotReceiveOwnName(t *testing.T) {
+	m, _ := newMgr(t, SingleThreaded)
+	sniff := NewSniffer("custom-tap", func(*event.Event) {})
+	if err := m.Deploy(sniff); err != nil {
+		t.Fatal(err)
+	}
+	if sniff.Name() != "custom-tap" {
+		t.Fatalf("Name = %q", sniff.Name())
+	}
+}

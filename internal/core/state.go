@@ -1,0 +1,66 @@
+package core
+
+import (
+	"sync"
+
+	"manetkit/internal/kernel"
+)
+
+// StateComponent is a generic S element: a named component wrapping an
+// arbitrary protocol-state value. Reifying state into a distinct component
+// (the CFS pattern's S) is what makes the paper's state carry-over work:
+// replacing a protocol while keeping its state is just moving this
+// component to the new instance (§4.5).
+type StateComponent struct {
+	base *kernel.Base
+
+	mu    sync.Mutex
+	value any
+}
+
+var _ kernel.Component = (*StateComponent)(nil)
+
+// NewStateComponent wraps value as an S element with the given component
+// name (by convention "state").
+func NewStateComponent(name string, value any) *StateComponent {
+	s := &StateComponent{base: kernel.NewBase(name), value: value}
+	s.base.Provide("IState", s)
+	return s
+}
+
+func (s *StateComponent) Name() string                     { return s.base.Name() }
+func (s *StateComponent) Provided() map[string]any         { return s.base.Provided() }
+func (s *StateComponent) ReceptacleNames() []string        { return s.base.ReceptacleNames() }
+func (s *StateComponent) Connect(r string, i any) error    { return s.base.Connect(r, i) }
+func (s *StateComponent) Disconnect(r string, i any) error { return s.base.Disconnect(r, i) }
+
+// Value returns the wrapped state.
+func (s *StateComponent) Value() any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.value
+}
+
+// SetValue replaces the wrapped state.
+func (s *StateComponent) SetValue(v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.value = v
+}
+
+// StateValue retrieves a protocol's S-element value with its concrete type.
+// ok is false when the protocol has no S element, the S element is not a
+// StateComponent, or the value has a different type.
+func StateValue[T any](p *Protocol) (T, bool) {
+	var zero T
+	c := p.StateElement()
+	if c == nil {
+		return zero, false
+	}
+	sc, ok := c.(*StateComponent)
+	if !ok {
+		return zero, false
+	}
+	v, ok := sc.Value().(T)
+	return v, ok
+}

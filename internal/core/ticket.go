@@ -1,0 +1,65 @@
+package core
+
+import "sync"
+
+// TicketMutex is a FIFO-fair mutex. It implements the paper's two
+// concurrency guarantees at once (§4.4): each ManetProtocol instance runs
+// as a single critical section (handlers are atomic), and events delivered
+// to the same instance are processed in the order they were issued — even
+// under the thread-per-message model, where each event is shepherded by its
+// own goroutine. Tickets are drawn synchronously at emission time and
+// redeemed by the shepherding goroutine, so FIFO order is the emission
+// order, not the goroutine scheduling order.
+//
+// Handoff is direct: each waiter parks on its own channel and is woken
+// exactly once when its ticket is served, so a long queue of shepherding
+// goroutines costs O(1) per handoff rather than a broadcast stampede.
+type TicketMutex struct {
+	mu      sync.Mutex
+	next    uint64
+	serving uint64
+	waiters map[uint64]chan struct{}
+}
+
+// Ticket reserves the next place in line without blocking.
+func (t *TicketMutex) Ticket() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	t.next++
+	return n
+}
+
+// Wait blocks until the given ticket is served, entering the critical
+// section.
+func (t *TicketMutex) Wait(ticket uint64) {
+	t.mu.Lock()
+	if t.serving == ticket {
+		t.mu.Unlock()
+		return
+	}
+	if t.waiters == nil {
+		t.waiters = make(map[uint64]chan struct{})
+	}
+	ch := make(chan struct{})
+	t.waiters[ticket] = ch
+	t.mu.Unlock()
+	<-ch
+}
+
+// Lock draws a ticket and waits for it — plain mutex behaviour with FIFO
+// fairness.
+func (t *TicketMutex) Lock() {
+	t.Wait(t.Ticket())
+}
+
+// Unlock leaves the critical section, admitting the next ticket holder.
+func (t *TicketMutex) Unlock() {
+	t.mu.Lock()
+	t.serving++
+	if ch, ok := t.waiters[t.serving]; ok {
+		delete(t.waiters, t.serving)
+		close(ch)
+	}
+	t.mu.Unlock()
+}

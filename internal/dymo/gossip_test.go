@@ -1,0 +1,83 @@
+package dymo
+
+import (
+	"testing"
+	"time"
+
+	"manetkit/internal/mnet"
+	"manetkit/internal/testbed"
+)
+
+func TestGossipFlooderProbability(t *testing.T) {
+	g := NewGossipFlooder(0.5, 42)
+	now := testbed.Epoch
+	prev := mnet.MustParseAddr("10.0.0.2")
+	forwards := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		orig := mnet.AddrFrom(uint32(0x0a010000 + i))
+		if g.ShouldForward(orig, uint16(i), prev, now) {
+			forwards++
+		}
+	}
+	if forwards < 900 || forwards > 1100 {
+		t.Fatalf("forward rate %d/%d far from p=0.5", forwards, n)
+	}
+}
+
+func TestGossipFlooderDedups(t *testing.T) {
+	g := NewGossipFlooder(1.0, 1)
+	now := testbed.Epoch
+	orig := mnet.MustParseAddr("10.0.0.9")
+	prev := mnet.MustParseAddr("10.0.0.2")
+	if !g.ShouldForward(orig, 7, prev, now) {
+		t.Fatal("p=1 flooder refused first copy")
+	}
+	if g.ShouldForward(orig, 7, prev, now) {
+		t.Fatal("duplicate forwarded")
+	}
+	g.Seen(orig, 8, now)
+	if g.ShouldForward(orig, 8, prev, now) {
+		t.Fatal("pre-seen message forwarded")
+	}
+}
+
+func TestGossipFlooderClampsP(t *testing.T) {
+	lo := NewGossipFlooder(-3, 1)
+	hi := NewGossipFlooder(9, 1)
+	now := testbed.Epoch
+	prev := mnet.MustParseAddr("10.0.0.2")
+	if lo.ShouldForward(mnet.MustParseAddr("10.0.0.3"), 1, prev, now) {
+		t.Fatal("p clamped to 0 still forwards")
+	}
+	if !hi.ShouldForward(mnet.MustParseAddr("10.0.0.3"), 1, prev, now) {
+		t.Fatal("p clamped to 1 refuses")
+	}
+}
+
+func TestGossipFloodingDiscoveryWorks(t *testing.T) {
+	// A dense clique with p=0.7 gossip: discovery still completes, with
+	// fewer forwards than blind flooding.
+	c, nodes := deployDYMO(t, 8, Config{})
+	for i, n := range nodes {
+		n.dymo.SetFlooder(NewGossipFlooder(0.7, int64(i+1)))
+	}
+	if err := c.Clique(); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(3 * time.Second)
+	nodes[0].node.Sys.Filter().SendData(c.Addrs()[7], []byte("x"))
+	c.Run(2 * time.Second)
+	if _, _, err := nodes[0].dymo.Routes().Lookup(c.Addrs()[7]); err != nil {
+		t.Fatalf("gossip discovery failed: %v", err)
+	}
+	var forwards uint64
+	for _, n := range nodes {
+		forwards += n.dymo.State().Stats().RREQForwards
+	}
+	// Blind flooding on an 8-clique forwards 6 times (every non-origin,
+	// non-target node); gossip at 0.7 must do no more.
+	if forwards > 6 {
+		t.Fatalf("gossip forwards = %d", forwards)
+	}
+}

@@ -1,0 +1,424 @@
+// Package emunet emulates the wireless testbed the paper evaluates on: an
+// 802.11-style broadcast medium with an explicit connectivity matrix.
+//
+// The paper's testbed was five Linux nodes whose multi-hop topology was
+// emulated with MAC-level filtering plus the MobiEmu emulator (§6). emunet
+// reproduces that arrangement in-process: nodes attach NICs to a Network,
+// the connectivity matrix (the MAC-filter analogue) decides who hears whom,
+// and each directed link carries a delay, a loss probability and a signal
+// strength. Mobility scenarios are scripted timeline mutations of the
+// matrix, like MobiEmu scenario playback.
+//
+// All timing goes through vclock.Clock, so a whole scenario is
+// deterministic under a virtual clock.
+package emunet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"manetkit/internal/mnet"
+	"manetkit/internal/vclock"
+)
+
+// Frame is one link-layer transmission as seen by a receiver.
+type Frame struct {
+	Src     mnet.Addr
+	Dst     mnet.Addr // mnet.Broadcast for broadcast frames
+	Payload []byte
+	Device  string
+	// RSSI is the emulated received signal strength in dBm.
+	RSSI float64
+}
+
+// Quality describes one directed link.
+type Quality struct {
+	// Delay is the propagation+MAC delay applied to each frame.
+	Delay time.Duration
+	// Loss is the independent per-frame drop probability in [0,1].
+	Loss float64
+	// SignalDBm is the received signal strength reported with each frame.
+	SignalDBm float64
+}
+
+// DefaultQuality approximates a healthy one-hop 802.11b/g link.
+func DefaultQuality() Quality {
+	return Quality{Delay: 1500 * time.Microsecond, Loss: 0, SignalDBm: -55}
+}
+
+// Stats aggregates medium activity; used by the overhead experiments.
+type Stats struct {
+	TxFrames      uint64 // transmissions attempted (one per Send call)
+	RxFrames      uint64 // deliveries completed
+	DroppedLoss   uint64 // deliveries lost to link loss
+	DroppedNoLink uint64 // unicast sends with no link to the destination
+	TxBytes       uint64
+	RxBytes       uint64
+}
+
+// Errors reported by the emulated medium.
+var (
+	ErrAttached = errors.New("emunet: address already attached")
+	ErrNotFound = errors.New("emunet: no such node")
+	ErrDetached = errors.New("emunet: NIC detached")
+	ErrSelfLink = errors.New("emunet: node cannot link to itself")
+)
+
+type linkKey struct{ from, to mnet.Addr }
+
+// Network is the emulated broadcast medium plus connectivity matrix.
+type Network struct {
+	clock vclock.Clock
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	nodes map[mnet.Addr]*NIC
+	links map[linkKey]Quality
+	stats Stats
+	tap   func(Frame, mnet.Addr) // (frame, receiver); nil when unset
+}
+
+// New creates an empty medium on the given clock. seed drives the loss
+// process, making lossy runs reproducible.
+func New(clock vclock.Clock, seed int64) *Network {
+	return &Network{
+		clock: clock,
+		rng:   rand.New(rand.NewSource(seed)),
+		nodes: make(map[mnet.Addr]*NIC),
+		links: make(map[linkKey]Quality),
+	}
+}
+
+// Clock returns the clock the medium schedules deliveries on.
+func (n *Network) Clock() vclock.Clock { return n.clock }
+
+// Attach joins a node to the medium and returns its NIC. The device name is
+// synthesised ("emu0" style) and unique per node.
+func (n *Network) Attach(addr mnet.Addr) (*NIC, error) {
+	if addr.IsBroadcast() || addr.IsUnspecified() {
+		return nil, fmt.Errorf("emunet: cannot attach reserved address %v", addr)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[addr]; ok {
+		return nil, fmt.Errorf("%w: %v", ErrAttached, addr)
+	}
+	nic := &NIC{
+		net:    n,
+		addr:   addr,
+		device: fmt.Sprintf("emu%d", len(n.nodes)),
+	}
+	n.nodes[addr] = nic
+	return nic, nil
+}
+
+// Detach removes a node and all its links — a node leaving the network.
+func (n *Network) Detach(addr mnet.Addr) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nic, ok := n.nodes[addr]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotFound, addr)
+	}
+	nic.mu.Lock()
+	nic.detached = true
+	nic.mu.Unlock()
+	delete(n.nodes, addr)
+	for k := range n.links {
+		if k.from == addr || k.to == addr {
+			delete(n.links, k)
+		}
+	}
+	return nil
+}
+
+// SetLink installs a symmetric link between a and b with quality q in both
+// directions.
+func (n *Network) SetLink(a, b mnet.Addr, q Quality) error {
+	if err := n.SetDirectedLink(a, b, q); err != nil {
+		return err
+	}
+	return n.SetDirectedLink(b, a, q)
+}
+
+// SetDirectedLink installs or updates the from→to direction only, allowing
+// asymmetric ("heard but not symmetric") links.
+func (n *Network) SetDirectedLink(from, to mnet.Addr, q Quality) error {
+	if from == to {
+		return ErrSelfLink
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[from]; !ok {
+		return fmt.Errorf("%w: %v", ErrNotFound, from)
+	}
+	if _, ok := n.nodes[to]; !ok {
+		return fmt.Errorf("%w: %v", ErrNotFound, to)
+	}
+	n.links[linkKey{from, to}] = q
+	return nil
+}
+
+// CutLink removes both directions between a and b — the MAC-filter move that
+// models nodes drifting out of range.
+func (n *Network) CutLink(a, b mnet.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.links, linkKey{a, b})
+	delete(n.links, linkKey{b, a})
+}
+
+// Linked reports whether from can currently reach to in one hop.
+func (n *Network) Linked(from, to mnet.Addr) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.links[linkKey{from, to}]
+	return ok
+}
+
+// LinkQuality returns the quality of the from→to link.
+func (n *Network) LinkQuality(from, to mnet.Addr) (Quality, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	q, ok := n.links[linkKey{from, to}]
+	return q, ok
+}
+
+// Neighbors lists the nodes from can reach in one hop, sorted.
+func (n *Network) Neighbors(from mnet.Addr) []mnet.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []mnet.Addr
+	for k := range n.links {
+		if k.from == from {
+			out = append(out, k.to)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Nodes lists attached addresses, sorted.
+func (n *Network) Nodes() []mnet.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]mnet.Addr, 0, len(n.nodes))
+	for a := range n.nodes {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// NIC looks up the NIC attached at addr.
+func (n *Network) NIC(addr mnet.Addr) (*NIC, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nic, ok := n.nodes[addr]
+	return nic, ok
+}
+
+// Stats returns a snapshot of medium counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the medium counters (between experiment phases).
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}
+
+// SetTap installs a packet-capture hook (the libpcap analogue): fn observes
+// every delivered frame together with its receiver. Pass nil to remove.
+func (n *Network) SetTap(fn func(f Frame, receiver mnet.Addr)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tap = fn
+}
+
+// ScheduleAt runs fn on the medium's clock after d — the primitive from
+// which mobility scenarios are scripted.
+func (n *Network) ScheduleAt(d time.Duration, fn func(*Network)) {
+	n.clock.AfterFunc(d, func() { fn(n) })
+}
+
+// send performs the medium's half of a transmission from src.
+func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device string) {
+	n.mu.Lock()
+	n.stats.TxFrames++
+	n.stats.TxBytes += uint64(len(payload))
+
+	type delivery struct {
+		nic *NIC
+		q   Quality
+	}
+	var targets []delivery
+	if dst.IsBroadcast() {
+		for k, q := range n.links {
+			if k.from != src {
+				continue
+			}
+			if nic, ok := n.nodes[k.to]; ok {
+				targets = append(targets, delivery{nic, q})
+			}
+		}
+		// Deterministic delivery order under equal delays.
+		sort.Slice(targets, func(i, j int) bool { return targets[i].nic.addr.Less(targets[j].nic.addr) })
+	} else {
+		q, ok := n.links[linkKey{src, dst}]
+		nic, attached := n.nodes[dst]
+		if !ok || !attached {
+			n.stats.DroppedNoLink++
+			n.mu.Unlock()
+			return
+		}
+		targets = append(targets, delivery{nic, q})
+	}
+
+	// Copy the payload once; receivers must not alias the sender's buffer.
+	buf := append([]byte(nil), payload...)
+	var due []delivery
+	for _, d := range targets {
+		if d.q.Loss > 0 && n.rng.Float64() < d.q.Loss {
+			n.stats.DroppedLoss++
+			continue
+		}
+		due = append(due, d)
+	}
+	n.mu.Unlock()
+
+	for _, d := range due {
+		d := d
+		frame := Frame{Src: src, Dst: dst, Payload: buf, Device: device, RSSI: d.q.SignalDBm}
+		n.clock.AfterFunc(d.q.Delay, func() { d.nic.deliver(frame) })
+	}
+}
+
+// NIC is one node's attachment to the medium.
+type NIC struct {
+	net    *Network
+	addr   mnet.Addr
+	device string
+
+	mu       sync.Mutex
+	recv     func(Frame)
+	detached bool
+	rx, tx   uint64
+}
+
+// Addr returns the NIC's node address.
+func (c *NIC) Addr() mnet.Addr { return c.addr }
+
+// Device returns the NIC's synthetic device name (e.g. "emu0").
+func (c *NIC) Device() string { return c.device }
+
+// SetReceiver installs the upcall invoked for each delivered frame.
+// Deliveries run on the clock's timer context; under a virtual clock that
+// is the goroutine driving the simulation.
+func (c *NIC) SetReceiver(fn func(Frame)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recv = fn
+}
+
+// Send transmits payload to dst (unicast or mnet.Broadcast). The send is
+// fire-and-forget, like a radio: absence of a link loses the frame.
+func (c *NIC) Send(dst mnet.Addr, payload []byte) error {
+	c.mu.Lock()
+	if c.detached {
+		c.mu.Unlock()
+		return ErrDetached
+	}
+	c.tx++
+	c.mu.Unlock()
+	c.net.send(c.addr, dst, payload, c.device)
+	return nil
+}
+
+// SendWithFeedback transmits a unicast frame and reports MAC-level delivery
+// feedback (the 802.11 ACK analogue) through cb once the frame is delivered
+// or known lost. Broadcast destinations receive no feedback (as in 802.11).
+func (c *NIC) SendWithFeedback(dst mnet.Addr, payload []byte, cb func(delivered bool)) error {
+	if dst.IsBroadcast() {
+		if err := c.Send(dst, payload); err != nil {
+			return err
+		}
+		return nil
+	}
+	c.mu.Lock()
+	if c.detached {
+		c.mu.Unlock()
+		return ErrDetached
+	}
+	c.tx++
+	c.mu.Unlock()
+
+	n := c.net
+	n.mu.Lock()
+	n.stats.TxFrames++
+	n.stats.TxBytes += uint64(len(payload))
+	q, linked := n.links[linkKey{c.addr, dst}]
+	nic, attached := n.nodes[dst]
+	lost := false
+	if !linked || !attached {
+		n.stats.DroppedNoLink++
+	} else if q.Loss > 0 && n.rng.Float64() < q.Loss {
+		n.stats.DroppedLoss++
+		lost = true
+	}
+	n.mu.Unlock()
+
+	if !linked || !attached || lost {
+		// MAC retry window before the failure is reported.
+		n.clock.AfterFunc(q.Delay+2*time.Millisecond, func() { cb(false) })
+		return nil
+	}
+	buf := append([]byte(nil), payload...)
+	frame := Frame{Src: c.addr, Dst: dst, Payload: buf, Device: c.device, RSSI: q.SignalDBm}
+	n.clock.AfterFunc(q.Delay, func() {
+		nic.deliver(frame)
+		cb(true)
+	})
+	return nil
+}
+
+// deliver hands a frame to the receiver callback and accounts for it.
+func (c *NIC) deliver(f Frame) {
+	c.mu.Lock()
+	if c.detached {
+		c.mu.Unlock()
+		return
+	}
+	recv := c.recv
+	c.rx++
+	c.mu.Unlock()
+
+	n := c.net
+	n.mu.Lock()
+	n.stats.RxFrames++
+	n.stats.RxBytes += uint64(len(f.Payload))
+	tap := n.tap
+	n.mu.Unlock()
+
+	if tap != nil {
+		tap(f, c.addr)
+	}
+	if recv != nil {
+		recv(f)
+	}
+}
+
+// Counters returns the NIC's transmit/receive frame counts.
+func (c *NIC) Counters() (tx, rx uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tx, c.rx
+}

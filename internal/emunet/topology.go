@@ -1,0 +1,143 @@
+package emunet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"manetkit/internal/mnet"
+)
+
+// Addrs generates n sequential node addresses starting at 10.0.0.1 — the
+// convention used by the examples and the experiment harness.
+func Addrs(n int) []mnet.Addr {
+	out := make([]mnet.Addr, n)
+	for i := range out {
+		out[i] = mnet.AddrFrom(0x0a000001 + uint32(i))
+	}
+	return out
+}
+
+// BuildLine attaches the given nodes and links them in a chain — the
+// paper's 5-node linear testbed topology. Already-attached nodes are
+// reused.
+func BuildLine(n *Network, addrs []mnet.Addr, q Quality) error {
+	if err := attachAll(n, addrs); err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(addrs); i++ {
+		if err := n.SetLink(addrs[i], addrs[i+1], q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildGrid attaches the nodes and links 4-neighbourhoods on a cols-wide
+// grid; used by the scalability/fisheye experiments.
+func BuildGrid(n *Network, addrs []mnet.Addr, cols int, q Quality) error {
+	if cols <= 0 {
+		return fmt.Errorf("emunet: invalid grid width %d", cols)
+	}
+	if err := attachAll(n, addrs); err != nil {
+		return err
+	}
+	for i := range addrs {
+		row, col := i/cols, i%cols
+		if col+1 < cols && i+1 < len(addrs) {
+			if err := n.SetLink(addrs[i], addrs[i+1], q); err != nil {
+				return err
+			}
+		}
+		if j := (row+1)*cols + col; j < len(addrs) {
+			if err := n.SetLink(addrs[i], addrs[j], q); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BuildClique attaches the nodes and links every pair — a dense single-hop
+// neighbourhood, the regime where MPR flooding pays off.
+func BuildClique(n *Network, addrs []mnet.Addr, q Quality) error {
+	if err := attachAll(n, addrs); err != nil {
+		return err
+	}
+	for i := range addrs {
+		for j := i + 1; j < len(addrs); j++ {
+			if err := n.SetLink(addrs[i], addrs[j], q); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BuildRandom attaches the nodes and links each pair independently with
+// probability density, using seed for reproducibility. It guarantees
+// connectivity by additionally chaining the nodes in order.
+func BuildRandom(n *Network, addrs []mnet.Addr, density float64, seed int64, q Quality) error {
+	if density < 0 || density > 1 {
+		return fmt.Errorf("emunet: invalid density %f", density)
+	}
+	if err := BuildLine(n, addrs, q); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range addrs {
+		for j := i + 2; j < len(addrs); j++ {
+			if rng.Float64() < density {
+				if err := n.SetLink(addrs[i], addrs[j], q); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func attachAll(n *Network, addrs []mnet.Addr) error {
+	for _, a := range addrs {
+		if _, ok := n.NIC(a); ok {
+			continue
+		}
+		if _, err := n.Attach(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step is one timed mutation in a mobility scenario.
+type Step struct {
+	At time.Duration
+	Do func(n *Network)
+}
+
+// Scenario is a MobiEmu-style scripted mobility trace: a sequence of timed
+// topology mutations.
+type Scenario []Step
+
+// Play schedules every step on the network's clock, relative to now.
+func (s Scenario) Play(n *Network) {
+	for _, step := range s {
+		step := step
+		n.ScheduleAt(step.At, step.Do)
+	}
+}
+
+// WalkAway returns a scenario in which node m progressively cuts its links
+// to the given peers, one every interval — the canonical link-break
+// workload for route-repair experiments.
+func WalkAway(m mnet.Addr, peers []mnet.Addr, start, interval time.Duration) Scenario {
+	var s Scenario
+	for i, p := range peers {
+		p := p
+		s = append(s, Step{
+			At: start + time.Duration(i)*interval,
+			Do: func(n *Network) { n.CutLink(m, p) },
+		})
+	}
+	return s
+}

@@ -1,0 +1,301 @@
+// Package event defines MANETKit's event ontology (§4.2 of the paper):
+// the typed events that flow between CFS units, the polymorphic type
+// hierarchy they are organised in, and the <required-events,
+// provided-events> tuples from which the Framework Manager derives the
+// binding topology.
+//
+// Events carry PacketBB messages (package packetbb) when they correspond to
+// protocol traffic, or typed context payloads when they report system or
+// protocol context (battery level, neighbourhood changes, …).
+package event
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"manetkit/internal/mnet"
+	"manetkit/internal/packetbb"
+)
+
+// Type names an event kind, e.g. "TC_OUT".
+type Type string
+
+// The event vocabulary used by the protocols in this repository; the set is
+// open — protocols may introduce further types (RegisterType).
+const (
+	// Root of the ontology.
+	Any Type = "EVENT"
+
+	// Abstract categories.
+	MsgIn   Type = "MSG_IN"  // any incoming protocol message
+	MsgOut  Type = "MSG_OUT" // any outgoing protocol message
+	Context Type = "CONTEXT" // any context/sensor report
+	Routing Type = "ROUTING" // any data-plane routing trigger
+
+	// Concrete message events.
+	HelloIn  Type = "HELLO_IN"
+	HelloOut Type = "HELLO_OUT"
+	TCIn     Type = "TC_IN"
+	TCOut    Type = "TC_OUT"
+	HNAIn    Type = "HNA_IN" // OLSR host-and-network association inbound
+	HNAOut   Type = "HNA_OUT"
+	REIn     Type = "RE_IN"   // DYMO routing element (RREQ/RREP) inbound
+	REOut    Type = "RE_OUT"  // DYMO routing element outbound
+	RerrIn   Type = "RERR_IN" // DYMO route error inbound
+	RerrOut  Type = "RERR_OUT"
+
+	// Topology/context events.
+	NhoodChange Type = "NHOOD_CHANGE" // neighbourhood membership changed
+	MPRChange   Type = "MPR_CHANGE"   // relay selection changed
+	PowerStatus Type = "POWER_STATUS" // battery level report
+	LinkInfo    Type = "LINK_INFO"    // link quality report
+	SysStatus   Type = "SYS_STATUS"   // CPU/memory report
+
+	// Data-plane triggers raised by the packet filter (System CF) and the
+	// replies reactive protocols send back (§5.2).
+	NoRoute      Type = "NO_ROUTE"       // data packet with no route buffered
+	RouteUpdate  Type = "ROUTE_UPDATE"   // data packet used a route: refresh lifetime
+	SendRouteErr Type = "SEND_ROUTE_ERR" // forwarding failed: notify sources
+	RouteFound   Type = "ROUTE_FOUND"    // discovery succeeded: re-inject buffer
+	LinkBreak    Type = "LINK_BREAK"     // link-layer feedback: next hop unreachable
+)
+
+// Event is the unit of communication between CFS units. Exactly one of Msg
+// (protocol traffic) or a typed payload field is normally set, depending on
+// the event type.
+type Event struct {
+	Type Type
+
+	// Msg is the PacketBB message for *_IN/*_OUT events.
+	Msg *packetbb.Message
+	// Src is the link-level sender for *_IN events.
+	Src mnet.Addr
+	// Dst is the link-level destination for *_OUT events (often broadcast).
+	Dst mnet.Addr
+	// Device names the network interface the event entered or leaves on.
+	Device string
+	// Time stamps the event's creation on the deployment's clock.
+	Time time.Time
+
+	// Typed context payloads; nil unless the event type calls for them.
+	Nhood *NhoodPayload
+	MPR   *MPRPayload
+	Power *PowerPayload
+	Link  *LinkPayload
+	Route *RoutePayload
+	Sys   *SysPayload
+}
+
+// ChangeKind classifies a neighbourhood change.
+type ChangeKind uint8
+
+// Neighbourhood change kinds.
+const (
+	NeighborAppeared ChangeKind = iota + 1
+	NeighborLost
+	NeighborSymmetric // link became bidirectional
+	TwoHopChanged
+)
+
+// String implements fmt.Stringer.
+func (k ChangeKind) String() string {
+	switch k {
+	case NeighborAppeared:
+		return "appeared"
+	case NeighborLost:
+		return "lost"
+	case NeighborSymmetric:
+		return "symmetric"
+	case TwoHopChanged:
+		return "2hop-changed"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", uint8(k))
+	}
+}
+
+// NhoodPayload reports a neighbourhood change (NHOOD_CHANGE).
+type NhoodPayload struct {
+	Kind     ChangeKind
+	Neighbor mnet.Addr
+	// TwoHopVia lists the 2-hop destinations reachable via Neighbor at the
+	// time of the event.
+	TwoHopVia []mnet.Addr
+}
+
+// MPRPayload reports a relay-selection change (MPR_CHANGE).
+type MPRPayload struct {
+	// Selected is the node's current multipoint relay set.
+	Selected []mnet.Addr
+	// Selectors lists the neighbours that chose this node as a relay.
+	Selectors []mnet.Addr
+}
+
+// PowerPayload reports battery state (POWER_STATUS).
+type PowerPayload struct {
+	// Fraction is remaining capacity in [0,1].
+	Fraction float64
+	// Draining reports whether the node runs on battery.
+	Draining bool
+}
+
+// LinkPayload reports link quality to a specific neighbour (LINK_INFO).
+type LinkPayload struct {
+	Neighbor mnet.Addr
+	// Quality is a normalised delivery ratio in [0,1].
+	Quality float64
+	// SignalDBm is the emulated received signal strength.
+	SignalDBm float64
+}
+
+// RoutePayload accompanies the data-plane trigger events.
+type RoutePayload struct {
+	// Dst is the destination the trigger concerns.
+	Dst mnet.Addr
+	// Src is the originator of the affected data traffic.
+	Src mnet.Addr
+	// NextHop is set for LINK_BREAK / SEND_ROUTE_ERR.
+	NextHop mnet.Addr
+	// PacketID identifies the buffered data packet for NO_ROUTE/ROUTE_FOUND.
+	PacketID uint64
+}
+
+// SysPayload reports host resource state (SYS_STATUS).
+type SysPayload struct {
+	CPUFraction float64
+	MemBytes    uint64
+}
+
+// Requirement is one entry in a CFS unit's required-events set. Exclusive
+// requirements consume the event: no other requirer sees it (§4.2,
+// footnote 2).
+type Requirement struct {
+	Type      Type
+	Exclusive bool
+}
+
+// Tuple is the paper's <required-events, provided-events> declaration.
+type Tuple struct {
+	Required []Requirement
+	Provided []Type
+}
+
+// Requires reports whether the tuple's required set covers t under the
+// given ontology.
+func (tp Tuple) Requires(o *Ontology, t Type) bool {
+	for _, r := range tp.Required {
+		if o.Matches(t, r.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// Provides reports whether the tuple's provided set contains t exactly.
+func (tp Tuple) Provides(t Type) bool {
+	for _, p := range tp.Provided {
+		if p == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Sink consumes events; it is the interface through which the Framework
+// Manager delivers events to CFS units.
+type Sink interface {
+	Deliver(ev *Event) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(ev *Event) error
+
+// Deliver implements Sink.
+func (f SinkFunc) Deliver(ev *Event) error { return f(ev) }
+
+// Ontology is the extensible polymorphic event-type hierarchy: a forest of
+// is-a relations rooted at Any. A requirer declaring an abstract type
+// receives all of its descendants.
+type Ontology struct {
+	mu     sync.RWMutex
+	parent map[Type]Type
+}
+
+// NewOntology returns the standard ontology used by the bundled protocols.
+func NewOntology() *Ontology {
+	o := &Ontology{parent: make(map[Type]Type)}
+	relations := map[Type]Type{
+		MsgIn:   Any,
+		MsgOut:  Any,
+		Context: Any,
+		Routing: Any,
+
+		HelloIn: MsgIn,
+		TCIn:    MsgIn,
+		HNAIn:   MsgIn,
+		REIn:    MsgIn,
+		RerrIn:  MsgIn,
+
+		HelloOut: MsgOut,
+		TCOut:    MsgOut,
+		HNAOut:   MsgOut,
+		REOut:    MsgOut,
+		RerrOut:  MsgOut,
+
+		NhoodChange: Context,
+		MPRChange:   Context,
+		PowerStatus: Context,
+		LinkInfo:    Context,
+		SysStatus:   Context,
+
+		NoRoute:      Routing,
+		RouteUpdate:  Routing,
+		SendRouteErr: Routing,
+		RouteFound:   Routing,
+		LinkBreak:    Routing,
+	}
+	for child, par := range relations {
+		o.parent[child] = par
+	}
+	return o
+}
+
+// RegisterType adds a new event type below parent. Registering an existing
+// type re-parents it; cycles are rejected.
+func (o *Ontology) RegisterType(t, parent Type) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	// Reject cycles: walk up from parent; meeting t means t would become
+	// its own ancestor.
+	for p := parent; p != ""; {
+		if p == t {
+			return fmt.Errorf("event: registering %q under %q creates a cycle", t, parent)
+		}
+		p = o.parent[p]
+	}
+	o.parent[t] = parent
+	return nil
+}
+
+// Matches reports whether concrete type t satisfies a requirement for
+// pattern: t == pattern, or pattern is an ancestor of t.
+func (o *Ontology) Matches(t, pattern Type) bool {
+	if t == pattern || pattern == Any {
+		return true
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for p := o.parent[t]; p != ""; p = o.parent[p] {
+		if p == pattern {
+			return true
+		}
+	}
+	return false
+}
+
+// Parent returns the immediate supertype of t ("" at a root).
+func (o *Ontology) Parent(t Type) Type {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.parent[t]
+}

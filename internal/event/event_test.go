@@ -1,0 +1,112 @@
+package event
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOntologyDirectMatch(t *testing.T) {
+	o := NewOntology()
+	if !o.Matches(TCIn, TCIn) {
+		t.Fatal("type does not match itself")
+	}
+}
+
+func TestOntologyHierarchy(t *testing.T) {
+	o := NewOntology()
+	tests := []struct {
+		t, pattern Type
+		want       bool
+	}{
+		{TCIn, MsgIn, true},
+		{HelloIn, MsgIn, true},
+		{HelloOut, MsgOut, true},
+		{HelloOut, MsgIn, false},
+		{TCIn, Any, true},
+		{NhoodChange, Context, true},
+		{NoRoute, Routing, true},
+		{NoRoute, Context, false},
+		{MsgIn, TCIn, false}, // supertype does not satisfy subtype
+		{Type("CUSTOM"), MsgIn, false},
+	}
+	for _, tt := range tests {
+		if got := o.Matches(tt.t, tt.pattern); got != tt.want {
+			t.Errorf("Matches(%s, %s) = %v, want %v", tt.t, tt.pattern, got, tt.want)
+		}
+	}
+}
+
+func TestOntologyRegisterType(t *testing.T) {
+	o := NewOntology()
+	if err := o.RegisterType("GOSSIP_IN", MsgIn); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Matches("GOSSIP_IN", MsgIn) || !o.Matches("GOSSIP_IN", Any) {
+		t.Fatal("registered type not matched by ancestors")
+	}
+	if o.Parent("GOSSIP_IN") != MsgIn {
+		t.Fatalf("Parent = %s", o.Parent("GOSSIP_IN"))
+	}
+}
+
+func TestOntologyRejectsCycles(t *testing.T) {
+	o := NewOntology()
+	if err := o.RegisterType("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RegisterType("B", "C"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RegisterType("C", "A"); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	if err := o.RegisterType("A", "A"); err == nil {
+		t.Fatal("self-parent accepted")
+	}
+}
+
+func TestTupleRequiresWithOntology(t *testing.T) {
+	o := NewOntology()
+	tp := Tuple{
+		Required: []Requirement{{Type: MsgIn}, {Type: PowerStatus}},
+		Provided: []Type{TCOut},
+	}
+	if !tp.Requires(o, TCIn) {
+		t.Fatal("abstract requirement did not cover concrete type")
+	}
+	if !tp.Requires(o, PowerStatus) {
+		t.Fatal("exact requirement failed")
+	}
+	if tp.Requires(o, NoRoute) {
+		t.Fatal("unrelated type matched")
+	}
+	if !tp.Provides(TCOut) || tp.Provides(TCIn) {
+		t.Fatal("Provides broken")
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	var got *Event
+	s := SinkFunc(func(ev *Event) error {
+		got = ev
+		return sentinel
+	})
+	ev := &Event{Type: HelloIn}
+	if err := s.Deliver(ev); !errors.Is(err, sentinel) {
+		t.Fatalf("Deliver = %v", err)
+	}
+	if got != ev {
+		t.Fatal("event not passed through")
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	if NeighborAppeared.String() != "appeared" || NeighborLost.String() != "lost" ||
+		NeighborSymmetric.String() != "symmetric" || TwoHopChanged.String() != "2hop-changed" {
+		t.Fatal("ChangeKind names wrong")
+	}
+	if ChangeKind(99).String() != "ChangeKind(99)" {
+		t.Fatal("unknown ChangeKind rendering wrong")
+	}
+}

@@ -1,0 +1,193 @@
+// Package harness builds the paper's evaluation (§6): deployments of the
+// MANETKit protocol compositions and their monolithic comparators on the
+// emulated testbed, plus the measurement procedures behind Table 1 (time
+// to process a message, route establishment delay), Table 2 (memory
+// footprint) and the variant/concurrency ablations. cmd/mkbench and the
+// top-level benchmarks drive it.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"manetkit/internal/core"
+	"manetkit/internal/dymo"
+	"manetkit/internal/emunet"
+	"manetkit/internal/mnet"
+	"manetkit/internal/mono"
+	"manetkit/internal/mpr"
+	"manetkit/internal/neighbor"
+	"manetkit/internal/olsr"
+	"manetkit/internal/testbed"
+	"manetkit/internal/vclock"
+)
+
+// Protocol intervals used across all experiments — identical for the
+// MANETKit and monolithic implementations, as the paper requires
+// ("identical HELLO and Topology Change intervals, and route hold times").
+const (
+	HelloInterval = 2 * time.Second
+	TCInterval    = 5 * time.Second
+	RouteLifetime = 5 * time.Second
+)
+
+// OLSRNode is one node of the MANETKit OLSR composition.
+type OLSRNode struct {
+	Node *testbed.Node
+	MPR  *mpr.MPR
+	OLSR *olsr.OLSR
+}
+
+// DeployOLSR installs the Fig 5 composition (MPR + OLSR) on a testbed node.
+func DeployOLSR(c *testbed.Cluster, node *testbed.Node) (*OLSRNode, error) {
+	relay := mpr.New("", mpr.Config{HelloInterval: HelloInterval})
+	o := olsr.New("", relay, olsr.Config{
+		TCInterval: TCInterval,
+		Clock:      c.Clock,
+		FIB:        node.FIB(),
+		Device:     node.Sys.NIC().Device(),
+	})
+	for _, u := range []*core.Protocol{relay.Protocol(), o.Protocol()} {
+		if err := node.Mgr.Deploy(u); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		if err := u.Start(); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+	}
+	return &OLSRNode{Node: node, MPR: relay, OLSR: o}, nil
+}
+
+// DYMONode is one node of the MANETKit DYMO composition.
+type DYMONode struct {
+	Node *testbed.Node
+	ND   *neighbor.Detector
+	DYMO *dymo.DYMO
+}
+
+// DeployDYMO installs the Fig 6 composition (Neighbour Detection + DYMO)
+// on a testbed node.
+func DeployDYMO(c *testbed.Cluster, node *testbed.Node) (*DYMONode, error) {
+	nd := neighbor.New("", neighbor.Config{HelloInterval: HelloInterval, LinkLayerFeedback: true})
+	d := dymo.New("", dymo.Config{
+		RouteLifetime: RouteLifetime,
+		Clock:         c.Clock,
+		FIB:           node.FIB(),
+		Device:        node.Sys.NIC().Device(),
+	})
+	for _, u := range []*core.Protocol{nd.Protocol(), d.Protocol()} {
+		if err := node.Mgr.Deploy(u); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		if err := u.Start(); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+	}
+	return &DYMONode{Node: node, ND: nd, DYMO: d}, nil
+}
+
+// OLSRCluster deploys the MANETKit OLSR composition on every node of a
+// fresh n-node cluster.
+func OLSRCluster(n int) (*testbed.Cluster, []*OLSRNode, error) {
+	c, err := testbed.New(n, testbed.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := make([]*OLSRNode, n)
+	for i, node := range c.Nodes {
+		nodes[i], err = DeployOLSR(c, node)
+		if err != nil {
+			c.Close()
+			return nil, nil, err
+		}
+	}
+	return c, nodes, nil
+}
+
+// DYMOCluster deploys the MANETKit DYMO composition on every node.
+func DYMOCluster(n int) (*testbed.Cluster, []*DYMONode, error) {
+	c, err := testbed.New(n, testbed.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := make([]*DYMONode, n)
+	for i, node := range c.Nodes {
+		nodes[i], err = DeployDYMO(c, node)
+		if err != nil {
+			c.Close()
+			return nil, nil, err
+		}
+	}
+	return c, nodes, nil
+}
+
+// MonoCluster is an emulated network of monolithic protocol instances.
+type MonoCluster struct {
+	Clock *vclock.Virtual
+	Net   *emunet.Network
+	Addrs []mnet.Addr
+	OLSR  []*mono.OLSR
+	DYMO  []*mono.DYMO
+}
+
+// MonoOLSRCluster builds n monolithic OLSR nodes (unlinked).
+func MonoOLSRCluster(n int) (*MonoCluster, error) {
+	mc, err := monoBase(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range mc.Addrs {
+		nic, _ := mc.Net.NIC(a)
+		o := mono.NewOLSR(nic, mc.Clock, mono.OLSRConfig{HelloInterval: HelloInterval, TCInterval: TCInterval})
+		o.Start()
+		mc.OLSR = append(mc.OLSR, o)
+	}
+	return mc, nil
+}
+
+// MonoDYMOCluster builds n monolithic DYMO nodes (unlinked).
+func MonoDYMOCluster(n int) (*MonoCluster, error) {
+	mc, err := monoBase(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range mc.Addrs {
+		nic, _ := mc.Net.NIC(a)
+		d := mono.NewDYMO(nic, mc.Clock, mono.DYMOConfig{RouteLifetime: RouteLifetime})
+		d.Start()
+		mc.DYMO = append(mc.DYMO, d)
+	}
+	return mc, nil
+}
+
+func monoBase(n int) (*MonoCluster, error) {
+	clk := vclock.NewVirtual(testbed.Epoch)
+	net := emunet.New(clk, 1)
+	mc := &MonoCluster{Clock: clk, Net: net, Addrs: emunet.Addrs(n)}
+	for _, a := range mc.Addrs {
+		if _, err := net.Attach(a); err != nil {
+			return nil, err
+		}
+	}
+	return mc, nil
+}
+
+// Line links the mono cluster in a chain.
+func (mc *MonoCluster) Line() error {
+	for i := 0; i+1 < len(mc.Addrs); i++ {
+		if err := mc.Net.SetLink(mc.Addrs[i], mc.Addrs[i+1], emunet.DefaultQuality()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops all protocol instances.
+func (mc *MonoCluster) Close() {
+	for _, o := range mc.OLSR {
+		o.Stop()
+	}
+	for _, d := range mc.DYMO {
+		d.Stop()
+	}
+}

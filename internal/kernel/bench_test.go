@@ -1,0 +1,67 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkBindUnbind(b *testing.B) {
+	k := New()
+	a := newTestComp("a", "")
+	c := newTestComp("b", "hello")
+	k.Register(a)
+	k.Register(c)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bd, err := k.Bind("a", "RGreet", "b", "IGreet")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := k.Unbind(bd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	c := newTestComp("a", "hi")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Query[greeter](c); !ok {
+			b.Fatal("lost interface")
+		}
+	}
+}
+
+func BenchmarkCFInsertRemove(b *testing.B) {
+	cf := NewCF("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := newTestComp(fmt.Sprintf("c%d", i), "")
+		if err := cf.Insert(c); err != nil {
+			b.Fatal(err)
+		}
+		if err := cf.Remove(c.Name()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCFReplace(b *testing.B) {
+	cf := NewCF("bench")
+	user := newTestComp("user", "")
+	cf.Insert(user)
+	cur := newTestComp("handler-0", "v")
+	cf.Insert(cur)
+	if _, err := cf.Bind("user", "RGreet", "handler-0", "IGreet"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next := newTestComp(fmt.Sprintf("handler-%d", i+1), "v")
+		if err := cf.Replace(fmt.Sprintf("handler-%d", i), next); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package kernel
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Factory instantiates a component type. args carries type-specific
+// construction parameters (may be nil).
+type Factory func(name string, args any) (Component, error)
+
+// Binding records a live receptacle-to-interface connection created through
+// a Kernel; it is the handle used to undo the connection.
+type Binding struct {
+	From       string // component owning the receptacle
+	Receptacle string
+	To         string // component owning the interface
+	Interface  string
+
+	impl any
+}
+
+// BindingInfo is the reflective description of a Binding.
+type BindingInfo struct {
+	From, Receptacle, To, Interface string
+}
+
+// Info returns the reflective description of the binding.
+func (b *Binding) Info() BindingInfo {
+	return BindingInfo{From: b.From, Receptacle: b.Receptacle, To: b.To, Interface: b.Interface}
+}
+
+// InterfaceInfo describes one provided interface for the interface
+// meta-model.
+type InterfaceInfo struct {
+	Name string
+	Type reflect.Type
+}
+
+// Kernel is the OpenCom runtime kernel: a registry of live components and
+// the bindings between them, plus a factory registry for dynamic loading.
+type Kernel struct {
+	mu         sync.Mutex
+	components map[string]Component
+	bindings   []*Binding
+	factories  map[string]Factory
+	sealed     bool
+
+	// loadedVia records which components were instantiated through a
+	// factory, for Unload bookkeeping.
+	loadedVia map[string]string
+}
+
+// New returns an empty kernel.
+func New() *Kernel {
+	return &Kernel{
+		components: make(map[string]Component),
+		factories:  make(map[string]Factory),
+		loadedVia:  make(map[string]string),
+	}
+}
+
+// RegisterFactory makes a component type dynamically loadable.
+func (k *Kernel) RegisterFactory(typ string, f Factory) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.sealed {
+		return ErrSealed
+	}
+	if _, ok := k.factories[typ]; ok {
+		return fmt.Errorf("%w: factory %q", ErrDuplicate, typ)
+	}
+	k.factories[typ] = f
+	return nil
+}
+
+// Load instantiates component type typ under the given instance name and
+// registers it.
+func (k *Kernel) Load(typ, name string, args any) (Component, error) {
+	k.mu.Lock()
+	if k.sealed {
+		k.mu.Unlock()
+		return nil, ErrSealed
+	}
+	f, ok := k.factories[typ]
+	k.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFactory, typ)
+	}
+	c, err := f(name, args)
+	if err != nil {
+		return nil, fmt.Errorf("load %q as %q: %w", typ, name, err)
+	}
+	if err := k.Register(c); err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	k.loadedVia[name] = typ
+	k.mu.Unlock()
+	return c, nil
+}
+
+// Register adds an externally constructed component instance.
+func (k *Kernel) Register(c Component) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.sealed {
+		return ErrSealed
+	}
+	if _, ok := k.components[c.Name()]; ok {
+		return fmt.Errorf("%w: component %q", ErrDuplicate, c.Name())
+	}
+	k.components[c.Name()] = c
+	return nil
+}
+
+// Unload removes a component. It fails with ErrStillBound while any binding
+// involves the component, mirroring OpenCom's destruction discipline.
+func (k *Kernel) Unload(name string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, ok := k.components[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoComponent, name)
+	}
+	for _, b := range k.bindings {
+		if b.From == name || b.To == name {
+			return fmt.Errorf("%w: %q (binding %v)", ErrStillBound, name, b.Info())
+		}
+	}
+	delete(k.components, name)
+	delete(k.loadedVia, name)
+	return nil
+}
+
+// Component looks up a registered component by name.
+func (k *Kernel) Component(name string) (Component, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	c, ok := k.components[name]
+	return c, ok
+}
+
+// Components lists registered component names in sorted order.
+func (k *Kernel) Components() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	names := make([]string, 0, len(k.components))
+	for n := range k.components {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Bind connects the named receptacle on component from to the named
+// provided interface on component to.
+func (k *Kernel) Bind(from, receptacle, to, iface string) (*Binding, error) {
+	k.mu.Lock()
+	fc, ok := k.components[from]
+	if !ok {
+		k.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNoComponent, from)
+	}
+	tc, ok := k.components[to]
+	if !ok {
+		k.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNoComponent, to)
+	}
+	k.mu.Unlock()
+
+	impl, ok := tc.Provided()[iface]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q on %q", ErrNoInterface, iface, to)
+	}
+	if err := fc.Connect(receptacle, impl); err != nil {
+		return nil, err
+	}
+	b := &Binding{From: from, Receptacle: receptacle, To: to, Interface: iface, impl: impl}
+	k.mu.Lock()
+	k.bindings = append(k.bindings, b)
+	k.mu.Unlock()
+	return b, nil
+}
+
+// Unbind undoes a binding previously created with Bind.
+func (k *Kernel) Unbind(b *Binding) error {
+	k.mu.Lock()
+	idx := -1
+	for i, eb := range k.bindings {
+		if eb == b {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		k.mu.Unlock()
+		return fmt.Errorf("%w: binding %v", ErrNotBound, b.Info())
+	}
+	fc, ok := k.components[b.From]
+	if !ok {
+		k.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoComponent, b.From)
+	}
+	k.bindings = append(k.bindings[:idx], k.bindings[idx+1:]...)
+	k.mu.Unlock()
+
+	return fc.Disconnect(b.Receptacle, b.impl)
+}
+
+// Bindings returns the reflective view of all live bindings.
+func (k *Kernel) Bindings() []BindingInfo {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]BindingInfo, len(k.bindings))
+	for i, b := range k.bindings {
+		out[i] = b.Info()
+	}
+	return out
+}
+
+// InterfacesOf implements the interface meta-model: the runtime list of
+// interfaces provided by the named component, with their Go types.
+func (k *Kernel) InterfacesOf(name string) ([]InterfaceInfo, error) {
+	c, ok := k.Component(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoComponent, name)
+	}
+	provided := c.Provided()
+	out := make([]InterfaceInfo, 0, len(provided))
+	for n, impl := range provided {
+		out = append(out, InterfaceInfo{Name: n, Type: reflect.TypeOf(impl)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Seal drops the kernel's dynamic-loading and reconfiguration machinery
+// (factory registry, load bookkeeping, binding records) to reclaim memory
+// once a deployment has reached its desired configuration — the
+// optimisation the paper's §6.2 footnote describes as "unloading the
+// OpenCom kernel". Live components and their connections keep functioning;
+// further Load/Register calls fail with ErrSealed, and existing bindings
+// can no longer be undone.
+func (k *Kernel) Seal() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.sealed = true
+	k.factories = nil
+	k.loadedVia = nil
+	k.bindings = nil
+}
+
+// Sealed reports whether Seal has been called.
+func (k *Kernel) Sealed() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.sealed
+}

@@ -1,0 +1,300 @@
+package neighbor
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"manetkit/internal/core"
+	"manetkit/internal/event"
+	"manetkit/internal/mnet"
+	"manetkit/internal/packetbb"
+)
+
+// UnitName is the Neighbour Detection CF's default unit name.
+const UnitName = "neighbor-detection"
+
+// Config parameterises the detector.
+type Config struct {
+	// HelloInterval is the beacon period (default 2s, jittered).
+	HelloInterval time.Duration
+	// Jitter is the fractional beacon jitter (default 0.1).
+	Jitter float64
+	// HoldFactor multiplies HelloInterval into the neighbour hold time
+	// (default 3.5, the OLSR NEIGHB_HOLD_TIME convention).
+	HoldFactor float64
+	// LinkLayerFeedback additionally plugs in the link-layer sensing
+	// mechanism: LINK_BREAK events immediately mark the next hop lost —
+	// the paper's "pluggable so that alternative mechanisms can be applied"
+	// (§4.3).
+	LinkLayerFeedback bool
+	// Willingness is advertised in HELLOs for relay selection (0..7,
+	// default 3 = WILL_DEFAULT).
+	Willingness uint8
+}
+
+func (c *Config) fill() {
+	if c.HelloInterval <= 0 {
+		c.HelloInterval = 2 * time.Second
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.1
+	}
+	if c.HoldFactor <= 0 {
+		c.HoldFactor = 3.5
+	}
+	if c.Willingness == 0 {
+		c.Willingness = 3
+	}
+}
+
+// Detector is the Neighbour Detection CF: a ManetProtocol instance built
+// from the generic machinery, maintaining 1- and 2-hop neighbour state.
+type Detector struct {
+	proto *core.Protocol
+	table *Table
+	cfg   Config
+
+	mu       sync.Mutex
+	piggyOut map[uint8]func() []byte
+	piggyIn  map[uint8]func(src mnet.Addr, value []byte)
+}
+
+// New builds a detector under the given unit name (defaults to UnitName for
+// an empty string).
+func New(name string, cfg Config) *Detector {
+	if name == "" {
+		name = UnitName
+	}
+	cfg.fill()
+	d := &Detector{
+		proto:    core.NewProtocol(name),
+		table:    NewTable(),
+		cfg:      cfg,
+		piggyOut: make(map[uint8]func() []byte),
+		piggyIn:  make(map[uint8]func(mnet.Addr, []byte)),
+	}
+	required := []event.Requirement{{Type: event.HelloIn}}
+	if cfg.LinkLayerFeedback {
+		required = append(required, event.Requirement{Type: event.LinkBreak})
+	}
+	d.proto.SetTuple(event.Tuple{
+		Required: required,
+		Provided: []event.Type{event.HelloOut, event.NhoodChange},
+	})
+	if err := d.proto.SetState(core.NewStateComponent("state", d.table)); err != nil {
+		panic(err) // fresh protocol: cannot conflict
+	}
+	d.proto.Provide("INeighbourState", d)
+
+	if err := d.proto.AddHandler(core.NewHandler("hello-handler", event.HelloIn, d.onHello)); err != nil {
+		panic(err)
+	}
+	if cfg.LinkLayerFeedback {
+		if err := d.proto.AddHandler(core.NewHandler("linkfb-handler", event.LinkBreak, d.onLinkBreak)); err != nil {
+			panic(err)
+		}
+	}
+	if err := d.proto.AddSource(core.NewSource("hello-gen", cfg.HelloInterval, cfg.Jitter, d.emitHello).Immediate()); err != nil {
+		panic(err)
+	}
+	// Expiry sweep at half the hello interval.
+	if err := d.proto.AddSource(core.NewSource("expiry-sweep", cfg.HelloInterval/2, 0, d.sweep)); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Protocol returns the detector as a deployable unit.
+func (d *Detector) Protocol() *core.Protocol { return d.proto }
+
+// Table returns the neighbour-state S element value.
+func (d *Detector) Table() *Table { return d.table }
+
+// Piggyback registers a producer whose bytes ride along every outgoing
+// HELLO as a message TLV of the given type (§4.3's dissemination service,
+// e.g. AODV piggybacking routing-table entries).
+func (d *Detector) Piggyback(tlvType uint8, produce func() []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.piggyOut[tlvType] = produce
+}
+
+// OnPiggyback registers a consumer for piggybacked TLVs of the given type
+// on incoming HELLOs.
+func (d *Detector) OnPiggyback(tlvType uint8, consume func(src mnet.Addr, value []byte)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.piggyIn[tlvType] = consume
+}
+
+// BuildHello assembles this node's HELLO message: the neighbour list with
+// per-address link-status TLVs, willingness, and piggybacked TLVs. Exported
+// for reuse by the MPR CF, which extends the same beacon with relay
+// selection.
+func (d *Detector) BuildHello(self mnet.Addr) *packetbb.Message {
+	msg := &packetbb.Message{
+		Type:       packetbb.MsgHello,
+		Originator: self,
+		HopLimit:   1,
+		TLVs: []packetbb.TLV{
+			{Type: packetbb.TLVWillingness, Value: packetbb.U8(d.cfg.Willingness)},
+			{Type: packetbb.TLVValidityTime, Value: packetbb.U32(uint32(d.holdTime() / time.Millisecond))},
+		},
+	}
+	d.mu.Lock()
+	types := make([]int, 0, len(d.piggyOut))
+	for tp := range d.piggyOut {
+		types = append(types, int(tp))
+	}
+	sort.Ints(types)
+	for _, tp := range types {
+		if v := d.piggyOut[uint8(tp)](); v != nil {
+			msg.TLVs = append(msg.TLVs, packetbb.TLV{Type: uint8(tp), Value: v})
+		}
+	}
+	d.mu.Unlock()
+
+	nbs := d.table.Neighbors()
+	if len(nbs) > 0 {
+		blk := packetbb.AddrBlock{}
+		for _, nb := range nbs {
+			blk.Addrs = append(blk.Addrs, nb.Addr)
+		}
+		for i, nb := range nbs {
+			status := packetbb.LinkStatusHeard
+			if nb.Status == StatusSymmetric {
+				status = packetbb.LinkStatusSymmetric
+			}
+			blk.TLVs = append(blk.TLVs, packetbb.AddrTLV{
+				Type:       packetbb.ATLVLinkStatus,
+				IndexStart: uint8(i),
+				IndexStop:  uint8(i),
+				Value:      packetbb.U8(status),
+			})
+		}
+		msg.AddrBlocks = append(msg.AddrBlocks, blk)
+	}
+	return msg
+}
+
+func (d *Detector) emitHello(ctx *core.Context) {
+	ctx.Emit(&event.Event{
+		Type: event.HelloOut,
+		Msg:  d.BuildHello(ctx.Node()),
+		Dst:  mnet.Broadcast,
+	})
+}
+
+// ParseHello extracts the sender's view from a HELLO: whether it lists us
+// as heard/symmetric, its willingness, and its symmetric neighbour set.
+// Exported for reuse by the MPR CF's power-aware hello handler.
+func ParseHello(msg *packetbb.Message, self mnet.Addr) (listsUs bool, willingness uint8, symNeighbors []mnet.Addr) {
+	willingness = 3
+	if tlv, ok := msg.FindTLV(packetbb.TLVWillingness); ok {
+		if w, err := packetbb.ParseU8(tlv.Value); err == nil {
+			willingness = w
+		}
+	}
+	for bi := range msg.AddrBlocks {
+		blk := &msg.AddrBlocks[bi]
+		for i, a := range blk.Addrs {
+			st := packetbb.LinkStatusHeard
+			if tlv, ok := blk.AddrTLVFor(packetbb.ATLVLinkStatus, i); ok {
+				if v, err := packetbb.ParseU8(tlv.Value); err == nil {
+					st = v
+				}
+			}
+			if a == self {
+				if st == packetbb.LinkStatusSymmetric || st == packetbb.LinkStatusHeard {
+					listsUs = true
+				}
+				continue
+			}
+			if st == packetbb.LinkStatusSymmetric {
+				symNeighbors = append(symNeighbors, a)
+			}
+		}
+	}
+	return listsUs, willingness, symNeighbors
+}
+
+func (d *Detector) onHello(ctx *core.Context, ev *event.Event) error {
+	if ev.Msg == nil {
+		return nil
+	}
+	src := ev.Msg.Originator
+	if src.IsUnspecified() {
+		src = ev.Src
+	}
+	listsUs, will, syms := ParseHello(ev.Msg, ctx.Node())
+	prev := d.table.Observe(src, listsUs, will, syms, ctx.Clock().Now())
+	cur, _ := d.table.Get(src)
+
+	switch {
+	case prev == 0 || prev == StatusLost:
+		ctx.Emit(&event.Event{
+			Type:  event.NhoodChange,
+			Nhood: &event.NhoodPayload{Kind: event.NeighborAppeared, Neighbor: src, TwoHopVia: cur.TwoHop},
+		})
+		if cur.Status == StatusSymmetric {
+			ctx.Emit(&event.Event{
+				Type:  event.NhoodChange,
+				Nhood: &event.NhoodPayload{Kind: event.NeighborSymmetric, Neighbor: src, TwoHopVia: cur.TwoHop},
+			})
+		}
+	case prev == StatusHeard && cur.Status == StatusSymmetric:
+		ctx.Emit(&event.Event{
+			Type:  event.NhoodChange,
+			Nhood: &event.NhoodPayload{Kind: event.NeighborSymmetric, Neighbor: src, TwoHopVia: cur.TwoHop},
+		})
+	default:
+		ctx.Emit(&event.Event{
+			Type:  event.NhoodChange,
+			Nhood: &event.NhoodPayload{Kind: event.TwoHopChanged, Neighbor: src, TwoHopVia: cur.TwoHop},
+		})
+	}
+
+	// Piggyback consumers.
+	d.mu.Lock()
+	consumers := make(map[uint8]func(mnet.Addr, []byte), len(d.piggyIn))
+	for k, v := range d.piggyIn {
+		consumers[k] = v
+	}
+	d.mu.Unlock()
+	for _, tlv := range ev.Msg.TLVs {
+		if fn, ok := consumers[tlv.Type]; ok {
+			fn(src, tlv.Value)
+		}
+	}
+	return nil
+}
+
+func (d *Detector) onLinkBreak(ctx *core.Context, ev *event.Event) error {
+	if ev.Route == nil || ev.Route.NextHop.IsUnspecified() {
+		return nil
+	}
+	if d.table.MarkLost(ev.Route.NextHop) {
+		ctx.Emit(&event.Event{
+			Type:  event.NhoodChange,
+			Nhood: &event.NhoodPayload{Kind: event.NeighborLost, Neighbor: ev.Route.NextHop},
+		})
+	}
+	return nil
+}
+
+func (d *Detector) sweep(ctx *core.Context) {
+	now := ctx.Clock().Now()
+	lost := d.table.Expire(now.Add(-d.holdTime()))
+	for _, nb := range lost {
+		ctx.Emit(&event.Event{
+			Type:  event.NhoodChange,
+			Nhood: &event.NhoodPayload{Kind: event.NeighborLost, Neighbor: nb},
+		})
+	}
+	d.table.Drop(now.Add(-3 * d.holdTime()))
+}
+
+func (d *Detector) holdTime() time.Duration {
+	return time.Duration(float64(d.cfg.HelloInterval) * d.cfg.HoldFactor)
+}

@@ -1,0 +1,253 @@
+package olsr
+
+import (
+	"time"
+
+	"manetkit/internal/core"
+	"manetkit/internal/event"
+	"manetkit/internal/mnet"
+	"manetkit/internal/mpr"
+	"manetkit/internal/neighbor"
+	"manetkit/internal/packetbb"
+	"manetkit/internal/route"
+	"manetkit/internal/vclock"
+)
+
+// UnitName is the OLSR CF's default unit name.
+const UnitName = "olsr"
+
+// TLVResidualPower is the TC message TLV carrying residual battery (u8
+// percent) in the power-aware variant.
+const TLVResidualPower uint8 = 10
+
+// Config parameterises the OLSR CF.
+type Config struct {
+	// TCInterval is the topology-control emission period (default 5s).
+	TCInterval time.Duration
+	// Jitter is the fractional TC jitter (default 0.1).
+	Jitter float64
+	// TopologyHold is the topology tuple validity (default 3×TCInterval).
+	TopologyHold time.Duration
+	// RouteHold is the computed-route validity (default TopologyHold).
+	RouteHold time.Duration
+	// FIB, when non-nil, receives the protocol's routes (the kernel table).
+	FIB *route.FIB
+	// Device names the FIB device for installed routes.
+	Device string
+	// Clock drives the routing table's lifetimes; defaults to the
+	// deployment clock at attach time — set it explicitly only in tests
+	// that use the state before deployment.
+	Clock vclock.Clock
+}
+
+func (c *Config) fill() {
+	if c.TCInterval <= 0 {
+		c.TCInterval = 5 * time.Second
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.1
+	}
+	if c.TopologyHold <= 0 {
+		c.TopologyHold = 3 * c.TCInterval
+	}
+	if c.RouteHold <= 0 {
+		c.RouteHold = c.TopologyHold
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real()
+	}
+}
+
+// OLSR is the OLSR ManetProtocol CF, stacked on an MPR CF instance.
+type OLSR struct {
+	proto *core.Protocol
+	m     *mpr.MPR
+	state *State
+	cfg   Config
+}
+
+// New builds an OLSR CF using the given MPR CF for link sensing, relay
+// selection and optimised flooding. Deploy both units into the same
+// Manager; their event tuples wire them together automatically.
+func New(name string, relay *mpr.MPR, cfg Config) *OLSR {
+	if name == "" {
+		name = UnitName
+	}
+	cfg.fill()
+	o := &OLSR{
+		proto: core.NewProtocol(name),
+		m:     relay,
+		cfg:   cfg,
+	}
+	rt := route.NewTable(cfg.Clock)
+	if cfg.FIB != nil {
+		rt.SyncFIB(cfg.FIB, cfg.Device)
+	}
+	o.state = NewState(rt)
+
+	o.proto.SetTuple(event.Tuple{
+		Required: []event.Requirement{
+			{Type: event.TCIn},
+			{Type: event.NhoodChange},
+			{Type: event.MPRChange},
+		},
+		Provided: []event.Type{event.TCOut},
+	})
+	if err := o.proto.SetState(core.NewStateComponent("state", o.state)); err != nil {
+		panic(err)
+	}
+	o.proto.Provide("IOLSRState", o.state)
+
+	for _, h := range []core.Handler{
+		core.NewHandler("tc-handler", event.TCIn, o.onTC),
+		core.NewHandler("nhood-handler", event.NhoodChange, o.onNhood),
+		core.NewHandler("mpr-handler", event.MPRChange, o.onMPRChange),
+	} {
+		if err := o.proto.AddHandler(h); err != nil {
+			panic(err)
+		}
+	}
+	if err := o.proto.AddSource(core.NewSource("tc-generator", cfg.TCInterval, cfg.Jitter, o.emitTC)); err != nil {
+		panic(err)
+	}
+	// Periodic purge/recompute at 1/5 the TC interval.
+	if err := o.proto.AddSource(core.NewSource("topo-sweep", cfg.TCInterval/5, 0, o.sweep)); err != nil {
+		panic(err)
+	}
+	o.proto.OnStop(func(ctx *core.Context) error {
+		o.state.Routes.Clear()
+		return nil
+	})
+	return o
+}
+
+// Protocol returns the OLSR CF as a deployable unit.
+func (o *OLSR) Protocol() *core.Protocol { return o.proto }
+
+// State returns the S element value.
+func (o *OLSR) State() *State { return o.state }
+
+// Routes returns the protocol's routing table.
+func (o *OLSR) Routes() *route.Table { return o.state.Routes }
+
+// BuildTC assembles this node's topology-control message, advertising the
+// MPR selector set. Exported for the micro-benchmarks.
+func (o *OLSR) BuildTC(self mnet.Addr) *packetbb.Message {
+	msg := &packetbb.Message{
+		Type:       packetbb.MsgTC,
+		Originator: self,
+		HopLimit:   255,
+		HopCount:   0,
+		SeqNum:     o.state.NextMsgSeq(),
+		TLVs: []packetbb.TLV{
+			{Type: packetbb.TLVANSN, Value: packetbb.U16(o.state.ANSN())},
+		},
+	}
+	if tlv, ok := o.powerTLV(); ok {
+		msg.TLVs = append(msg.TLVs, tlv)
+	}
+	if sel := o.m.State().Selectors(); len(sel) > 0 {
+		msg.AddrBlocks = append(msg.AddrBlocks, packetbb.AddrBlock{Addrs: sel})
+	}
+	return msg
+}
+
+func (o *OLSR) emitTC(ctx *core.Context) {
+	// Only nodes selected as relays advertise (RFC 3626 §9.3).
+	if len(o.m.State().Selectors()) == 0 {
+		return
+	}
+	msg := o.BuildTC(ctx.Node())
+	o.m.Flooder().Seen(ctx.Node(), msg.SeqNum, ctx.Clock().Now())
+	ctx.Emit(&event.Event{Type: event.TCOut, Msg: msg, Dst: mnet.Broadcast})
+}
+
+// ProcessTC folds one received TC into the topology set and decides
+// forwarding; exported for the time-to-process benchmark (Table 1).
+func (o *OLSR) ProcessTC(ctx *core.Context, ev *event.Event) error {
+	return o.onTC(ctx, ev)
+}
+
+func (o *OLSR) onTC(ctx *core.Context, ev *event.Event) error {
+	msg := ev.Msg
+	if msg == nil || msg.Originator == ctx.Node() {
+		return nil
+	}
+	// Per RFC 3626 §9.5: discard TCs whose previous hop is not a symmetric
+	// neighbour.
+	if nb, ok := o.m.State().Links.Get(ev.Src); !ok || nb.Status != neighbor.StatusSymmetric {
+		return nil
+	}
+	ansn := uint16(0)
+	if tlv, ok := msg.FindTLV(packetbb.TLVANSN); ok {
+		if v, err := packetbb.ParseU16(tlv.Value); err == nil {
+			ansn = v
+		}
+	}
+	var advertised []mnet.Addr
+	for bi := range msg.AddrBlocks {
+		advertised = append(advertised, msg.AddrBlocks[bi].Addrs...)
+	}
+	now := ctx.Clock().Now()
+	changed := o.state.RecordTC(msg.Originator, ansn, advertised, now.Add(o.cfg.TopologyHold))
+
+	// Power-aware: learn the originator's residual battery.
+	if tlv, ok := msg.FindTLV(TLVResidualPower); ok {
+		if v, err := packetbb.ParseU8(tlv.Value); err == nil {
+			o.state.SetPower(msg.Originator, float64(v)/100)
+		}
+	}
+	if changed {
+		o.recompute(ctx)
+	}
+	// MPR-optimised flood forwarding.
+	if msg.HopLimit > 1 && o.m.Flooder().ShouldForward(msg.Originator, msg.SeqNum, ev.Src, now) {
+		fwd := msg.Clone()
+		fwd.HopLimit--
+		fwd.HopCount++
+		ctx.Emit(&event.Event{Type: event.TCOut, Msg: fwd, Dst: mnet.Broadcast})
+	}
+	return nil
+}
+
+func (o *OLSR) onNhood(ctx *core.Context, ev *event.Event) error {
+	o.recompute(ctx)
+	return nil
+}
+
+func (o *OLSR) onMPRChange(ctx *core.Context, ev *event.Event) error {
+	// The advertised (selector) set changed: bump ANSN and send a
+	// triggered TC so topology propagates ahead of the periodic timer.
+	o.state.BumpANSN()
+	if len(o.m.State().Selectors()) > 0 {
+		msg := o.BuildTC(ctx.Node())
+		o.m.Flooder().Seen(ctx.Node(), msg.SeqNum, ctx.Clock().Now())
+		ctx.Emit(&event.Event{Type: event.TCOut, Msg: msg, Dst: mnet.Broadcast})
+	}
+	o.recompute(ctx)
+	return nil
+}
+
+func (o *OLSR) sweep(ctx *core.Context) {
+	o.state.PurgeTopo(ctx.Clock().Now())
+	// Recompute unconditionally: this refreshes route lifetimes from the
+	// still-live topology (RecordTC reports "unchanged" for pure expiry
+	// refreshes, so changes alone would let routes age out).
+	o.recompute(ctx)
+	o.state.Routes.PurgeExpired()
+}
+
+func (o *OLSR) recompute(ctx *core.Context) {
+	links := o.m.State().Links
+	o.state.ComputeRoutes(
+		ctx.Node(),
+		links.SymmetricAddrs(),
+		links.TwoHopSet(ctx.Node()),
+		ctx.Clock().Now(),
+		o.cfg.RouteHold,
+		o.proto.Name(),
+	)
+	// Gateway prefixes route like their gateway; reinstall them on top of
+	// the fresh host-route computation.
+	o.installHNARoutes(ctx)
+}

@@ -1,0 +1,246 @@
+// Package olsr implements the Optimized Link State Routing protocol as a
+// MANETKit composition (§5.1, Fig 5): an OLSR ManetProtocol stacked on the
+// MPR CF, from which it takes link sensing, relay selection and optimised
+// flooding. The package also provides the paper's two OLSR variants —
+// fisheye routing (a TC_OUT interposer) and power-aware routing (a residual
+// power component plus the power-aware MPR calculator) — and the link
+// hysteresis filter of Fig 5.
+package olsr
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"manetkit/internal/mnet"
+	"manetkit/internal/route"
+)
+
+// edge is one topology tuple: lastHop advertises reachability of dest.
+type edge struct {
+	last mnet.Addr
+	dest mnet.Addr
+}
+
+// State is the OLSR CF's S element: the topology set learned from TC
+// messages, per-originator ANSN bookkeeping, learned residual power, and
+// the protocol's routing table.
+type State struct {
+	Routes *route.Table
+
+	mu      sync.Mutex
+	topo    map[edge]time.Time   // expiry per tuple
+	ansn    map[mnet.Addr]uint16 // freshest ANSN per originator
+	power   map[mnet.Addr]float64
+	ourANSN uint16
+	msgSeq  uint16
+
+	// Power-aware variant state.
+	powerAware bool
+	ownPower   float64
+
+	// HNA (gateway) state.
+	attached map[mnet.Prefix]bool     // prefixes this node announces
+	hna      map[mnet.Prefix]hnaEntry // learned gateway associations
+}
+
+// NewState returns an empty OLSR state whose routing table lives on clock
+// time supplied by the table.
+func NewState(routes *route.Table) *State {
+	return &State{
+		Routes:   routes,
+		topo:     make(map[edge]time.Time),
+		ansn:     make(map[mnet.Addr]uint16),
+		power:    make(map[mnet.Addr]float64),
+		ownPower: 1.0,
+	}
+}
+
+// SetOwnPower records the node's own residual battery fraction.
+func (s *State) SetOwnPower(frac float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ownPower = frac
+}
+
+// OwnPower returns the node's own residual battery fraction.
+func (s *State) OwnPower() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ownPower
+}
+
+// NextMsgSeq returns a fresh TC message sequence number.
+func (s *State) NextMsgSeq() uint16 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.msgSeq++
+	return s.msgSeq
+}
+
+// ANSN returns the node's own advertised neighbour sequence number.
+func (s *State) ANSN() uint16 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ourANSN
+}
+
+// BumpANSN increments the node's ANSN (the advertised set changed).
+func (s *State) BumpANSN() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ourANSN++
+}
+
+// RecordTC folds a TC message into the topology set: tuples (orig → dest)
+// for each advertised address, expiring at expiry. Stale ANSNs are
+// rejected; a fresher ANSN first flushes the originator's old tuples. It
+// reports whether the topology changed.
+func (s *State) RecordTC(orig mnet.Addr, ansn uint16, advertised []mnet.Addr, expiry time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.ansn[orig]; ok && seqOlder(ansn, prev) {
+		return false
+	}
+	changed := false
+	if prev, ok := s.ansn[orig]; !ok || seqOlder(prev, ansn) {
+		for e := range s.topo {
+			if e.last == orig {
+				delete(s.topo, e)
+				changed = true
+			}
+		}
+	}
+	s.ansn[orig] = ansn
+	for _, d := range advertised {
+		if d == orig {
+			continue
+		}
+		e := edge{last: orig, dest: d}
+		if _, ok := s.topo[e]; !ok {
+			changed = true
+		}
+		s.topo[e] = expiry
+	}
+	return changed
+}
+
+// seqOlder reports whether a is older than b under 16-bit serial-number
+// arithmetic (RFC 1982).
+func seqOlder(a, b uint16) bool {
+	return a != b && ((a < b && b-a < 0x8000) || (a > b && a-b > 0x8000))
+}
+
+// PurgeTopo drops expired tuples; it reports whether anything was removed.
+func (s *State) PurgeTopo(now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed := false
+	for e, exp := range s.topo {
+		if !exp.After(now) {
+			delete(s.topo, e)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Edges returns the live topology tuples at time now, sorted.
+func (s *State) Edges(now time.Time) [][2]mnet.Addr {
+	s.mu.Lock()
+	out := make([][2]mnet.Addr, 0, len(s.topo))
+	for e, exp := range s.topo {
+		if exp.After(now) {
+			out = append(out, [2]mnet.Addr{e.last, e.dest})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0].Less(out[j][0])
+		}
+		return out[i][1].Less(out[j][1])
+	})
+	return out
+}
+
+// SetPower records a node's advertised residual power (power-aware
+// variant).
+func (s *State) SetPower(n mnet.Addr, frac float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.power[n] = frac
+}
+
+// Power returns a node's last advertised residual power (1.0 when
+// unknown).
+func (s *State) Power(n mnet.Addr) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.power[n]; ok {
+		return f
+	}
+	return 1.0
+}
+
+// hopEntry is an intermediate of the route calculation.
+type hopEntry struct {
+	nextHop mnet.Addr
+	metric  int
+}
+
+// ComputeRoutes rebuilds the routing table from the symmetric
+// neighbourhood, the 2-hop set and the topology tuples — the RFC 3626
+// §10 shortest-path calculation, done as an iterative relaxation over
+// last-hop tuples. Returns the number of reachable destinations.
+func (s *State) ComputeRoutes(self mnet.Addr, oneHop []mnet.Addr, twoHop map[mnet.Addr][]mnet.Addr, now time.Time, holdTime time.Duration, proto string) int {
+	best := make(map[mnet.Addr]hopEntry)
+	for _, nb := range oneHop {
+		best[nb] = hopEntry{nextHop: nb, metric: 1}
+	}
+	for dst, vias := range twoHop {
+		if _, ok := best[dst]; ok || len(vias) == 0 {
+			continue
+		}
+		best[dst] = hopEntry{nextHop: vias[0], metric: 2}
+	}
+	edges := s.Edges(now)
+	// Relax until fixpoint: route(dest) = route(last) + 1.
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			last, dest := e[0], e[1]
+			if dest == self {
+				continue
+			}
+			le, ok := best[last]
+			if !ok {
+				continue
+			}
+			cand := hopEntry{nextHop: le.nextHop, metric: le.metric + 1}
+			if cur, ok := best[dest]; !ok || cand.metric < cur.metric {
+				best[dest] = cand
+				changed = true
+			}
+		}
+	}
+
+	// Install: replace the table's contents with the fresh computation.
+	seen := make(map[mnet.Prefix]bool, len(best))
+	for dst, he := range best {
+		p := mnet.HostPrefix(dst)
+		seen[p] = true
+		s.Routes.Upsert(route.Entry{
+			Dst:   p,
+			Paths: []route.Path{{NextHop: he.nextHop, Metric: he.metric, Expires: now.Add(holdTime)}},
+			Valid: true,
+			Proto: proto,
+		})
+	}
+	for _, e := range s.Routes.Entries() {
+		if !seen[e.Dst] {
+			s.Routes.Remove(e.Dst)
+		}
+	}
+	return len(best)
+}

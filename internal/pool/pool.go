@@ -1,0 +1,113 @@
+// Package pool implements the worker-pool ("threadpool") utility component
+// that the paper lists among MANETKit's reusable building blocks (Table 3).
+//
+// The thread-per-n-messages concurrency model (§4.4) is realised by feeding
+// shepherded events through a Pool of fixed size: n workers drain a shared
+// FIFO, giving a midpoint between the single-threaded and thread-per-message
+// models.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"manetkit/internal/queue"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("pool: closed")
+
+// Stats describes pool activity.
+type Stats struct {
+	Submitted uint64
+	Completed uint64
+	Workers   int
+}
+
+// Pool runs submitted tasks on a fixed set of worker goroutines, in FIFO
+// submission order. Construct with New; the zero value is unusable.
+type Pool struct {
+	tasks *queue.FIFO[func()]
+
+	mu        sync.Mutex
+	submitted uint64
+	completed uint64
+	workers   int
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// New starts a pool of size workers. queueBound bounds the backlog
+// (<= 0 means unbounded).
+func New(size, queueBound int) (*Pool, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("pool: invalid size %d", size)
+	}
+	p := &Pool{
+		tasks:   queue.NewFIFO[func()](queueBound),
+		workers: size,
+	}
+	p.wg.Add(size)
+	for i := 0; i < size; i++ {
+		go p.worker()
+	}
+	return p, nil
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		task, err := p.tasks.Pop()
+		if err != nil {
+			return
+		}
+		task()
+		p.mu.Lock()
+		p.completed++
+		p.mu.Unlock()
+	}
+}
+
+// Submit enqueues f for execution. It returns ErrClosed after Close, or
+// queue.ErrFull if the backlog bound is reached.
+func (p *Pool) Submit(f func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.mu.Unlock()
+	if err := p.tasks.Push(f); err != nil {
+		if errors.Is(err, queue.ErrClosed) {
+			return ErrClosed
+		}
+		return err
+	}
+	p.mu.Lock()
+	p.submitted++
+	p.mu.Unlock()
+	return nil
+}
+
+// Close stops accepting tasks, waits for queued tasks to finish, then
+// returns. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.tasks.Close()
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{Submitted: p.submitted, Completed: p.completed, Workers: p.workers}
+}

@@ -1,0 +1,116 @@
+package pool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0); err == nil {
+		t.Fatal("New(0) succeeded")
+	}
+	if _, err := New(-3, 0); err == nil {
+		t.Fatal("New(-3) succeeded")
+	}
+}
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p, err := New(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n atomic.Int64
+	const tasks = 1000
+	for i := 0; i < tasks; i++ {
+		if err := p.Submit(func() { n.Add(1) }); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	p.Close()
+	if n.Load() != tasks {
+		t.Fatalf("ran %d tasks, want %d", n.Load(), tasks)
+	}
+	st := p.Stats()
+	if st.Submitted != tasks || st.Completed != tasks || st.Workers != 4 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p, err := New(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if err := p.Submit(func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolSingleWorkerIsFIFO(t *testing.T) {
+	p, err := New(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		p.Submit(func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	p.Close()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+	if len(order) != 100 {
+		t.Fatalf("ran %d tasks", len(order))
+	}
+}
+
+func TestPoolConcurrencyActuallyParallel(t *testing.T) {
+	p, err := New(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Two tasks that each wait for the other prove two workers run at once.
+	a, b := make(chan struct{}), make(chan struct{})
+	p.Submit(func() { close(a); <-b })
+	p.Submit(func() { <-a; close(b) })
+	p.Close() // waits; deadlock here would fail the test via timeout
+}
+
+func TestPoolConcurrentSubmitters(t *testing.T) {
+	p, err := New(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := p.Submit(func() { n.Add(1) }); err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	if n.Load() != 8*200 {
+		t.Fatalf("ran %d tasks", n.Load())
+	}
+}

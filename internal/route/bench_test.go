@@ -1,0 +1,94 @@
+package route
+
+import (
+	"testing"
+	"time"
+
+	"manetkit/internal/mnet"
+	"manetkit/internal/vclock"
+)
+
+func benchTable(b *testing.B, entries int) *Table {
+	b.Helper()
+	tb := NewTable(vclock.NewVirtual(epoch))
+	for i := 0; i < entries; i++ {
+		a := mnet.AddrFrom(0x0a000100 + uint32(i))
+		tb.Upsert(Entry{
+			Dst:   mnet.HostPrefix(a),
+			Paths: []Path{{NextHop: mnet.AddrFrom(0x0a000001), Metric: 2}},
+			Valid: true,
+		})
+	}
+	return tb
+}
+
+func BenchmarkTableUpsert(b *testing.B) {
+	tb := NewTable(vclock.NewVirtual(epoch))
+	e := Entry{
+		Dst:   mnet.HostPrefix(mnet.AddrFrom(0x0a000105)),
+		Paths: []Path{{NextHop: mnet.AddrFrom(0x0a000001), Metric: 2}},
+		Valid: true,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.Upsert(e)
+	}
+}
+
+func BenchmarkTableLookup100(b *testing.B) {
+	tb := benchTable(b, 100)
+	dst := mnet.AddrFrom(0x0a000100 + 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tb.Lookup(dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFIBLookup100(b *testing.B) {
+	fib := NewFIB()
+	for i := 0; i < 100; i++ {
+		a := mnet.AddrFrom(0x0a000100 + uint32(i))
+		fib.Set(FIBRoute{Dst: mnet.HostPrefix(a), NextHop: mnet.AddrFrom(0x0a000001)})
+	}
+	dst := mnet.AddrFrom(0x0a000100 + 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := fib.Lookup(dst); !ok {
+			b.Fatal("missing route")
+		}
+	}
+}
+
+func BenchmarkInvalidateVia(b *testing.B) {
+	via := mnet.AddrFrom(0x0a000001)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tb := benchTable(b, 50)
+		b.StartTimer()
+		tb.InvalidateVia(via)
+	}
+}
+
+func BenchmarkPurgeExpired(b *testing.B) {
+	clk := vclock.NewVirtual(epoch)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tb := NewTable(clk)
+		for j := 0; j < 50; j++ {
+			a := mnet.AddrFrom(0x0a000100 + uint32(j))
+			tb.Upsert(Entry{
+				Dst:   mnet.HostPrefix(a),
+				Paths: []Path{{NextHop: a, Expires: clk.Now().Add(time.Duration(j) * time.Millisecond)}},
+				Valid: true,
+			})
+		}
+		b.StartTimer()
+		tb.PurgeExpired()
+	}
+}

@@ -1,0 +1,100 @@
+package route
+
+import (
+	"sort"
+	"sync"
+
+	"manetkit/internal/mnet"
+)
+
+// FIBRoute is one forwarding entry in the simulated kernel table.
+type FIBRoute struct {
+	Dst     mnet.Prefix
+	NextHop mnet.Addr
+	Metric  int
+	Device  string
+	Proto   string
+}
+
+// FIB simulates the kernel forwarding table. The System CF State element
+// exposes it to protocols ("operations to manipulate the kernel routing
+// table", §4.3), and the packet filter consults it to forward data packets.
+type FIB struct {
+	mu     sync.Mutex
+	routes map[mnet.Prefix]FIBRoute
+}
+
+// NewFIB returns an empty forwarding table.
+func NewFIB() *FIB {
+	return &FIB{routes: make(map[mnet.Prefix]FIBRoute)}
+}
+
+// Set installs or replaces the route for r.Dst.
+func (f *FIB) Set(r FIBRoute) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.routes[r.Dst] = r
+}
+
+// Del removes the route for dst. It reports whether a route was present.
+func (f *FIB) Del(dst mnet.Prefix) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.routes[dst]
+	delete(f.routes, dst)
+	return ok
+}
+
+// Lookup performs longest-prefix-match forwarding resolution.
+func (f *FIB) Lookup(dst mnet.Addr) (FIBRoute, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var best FIBRoute
+	bestBits := -1
+	for _, r := range f.routes {
+		if r.Dst.Contains(dst) && r.Dst.Bits > bestBits {
+			best = r
+			bestBits = r.Dst.Bits
+		}
+	}
+	return best, bestBits >= 0
+}
+
+// List returns all forwarding entries sorted by destination.
+func (f *FIB) List() []FIBRoute {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FIBRoute, 0, len(f.routes))
+	for _, r := range f.routes {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dst.Addr != out[j].Dst.Addr {
+			return out[i].Dst.Addr.Less(out[j].Dst.Addr)
+		}
+		return out[i].Dst.Bits < out[j].Dst.Bits
+	})
+	return out
+}
+
+// Len returns the number of forwarding entries.
+func (f *FIB) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.routes)
+}
+
+// FlushProto removes every route owned by the named protocol — used when a
+// protocol is undeployed. It returns the number removed.
+func (f *FIB) FlushProto(proto string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for dst, r := range f.routes {
+		if r.Proto == proto {
+			delete(f.routes, dst)
+			n++
+		}
+	}
+	return n
+}

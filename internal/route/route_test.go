@@ -1,0 +1,316 @@
+package route
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"manetkit/internal/mnet"
+	"manetkit/internal/vclock"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func addr(s string) mnet.Addr   { return mnet.MustParseAddr(s) }
+func host(s string) mnet.Prefix { return mnet.HostPrefix(addr(s)) }
+
+func newTable() (*Table, *vclock.Virtual) {
+	clk := vclock.NewVirtual(epoch)
+	return NewTable(clk), clk
+}
+
+func TestUpsertLookup(t *testing.T) {
+	tb, _ := newTable()
+	kind := tb.Upsert(Entry{
+		Dst:   host("10.0.0.5"),
+		Paths: []Path{{NextHop: addr("10.0.0.2"), Metric: 3}},
+		Valid: true,
+		Proto: "dymo",
+	})
+	if kind != Added {
+		t.Fatalf("first Upsert = %v", kind)
+	}
+	e, p, err := tb.Lookup(addr("10.0.0.5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NextHop != addr("10.0.0.2") || p.Metric != 3 || e.Proto != "dymo" {
+		t.Fatalf("Lookup = %+v / %+v", e, p)
+	}
+	if kind := tb.Upsert(Entry{Dst: host("10.0.0.5"), Paths: []Path{{NextHop: addr("10.0.0.3"), Metric: 2}}, Valid: true}); kind != Updated {
+		t.Fatalf("second Upsert = %v", kind)
+	}
+	if _, p, _ := tb.Lookup(addr("10.0.0.5")); p.NextHop != addr("10.0.0.3") {
+		t.Fatal("Upsert did not replace path")
+	}
+}
+
+func TestLookupNoRoute(t *testing.T) {
+	tb, _ := newTable()
+	if _, _, err := tb.Lookup(addr("1.2.3.4")); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("Lookup on empty table = %v", err)
+	}
+}
+
+func TestLongestPrefixMatch(t *testing.T) {
+	tb, _ := newTable()
+	tb.Upsert(Entry{
+		Dst:   mnet.Prefix{Addr: addr("10.0.0.0"), Bits: 8},
+		Paths: []Path{{NextHop: addr("10.0.0.1"), Metric: 5}},
+		Valid: true,
+	})
+	tb.Upsert(Entry{
+		Dst:   mnet.Prefix{Addr: addr("10.1.0.0"), Bits: 16},
+		Paths: []Path{{NextHop: addr("10.0.0.2"), Metric: 2}},
+		Valid: true,
+	})
+	if _, p, _ := tb.Lookup(addr("10.1.2.3")); p.NextHop != addr("10.0.0.2") {
+		t.Fatalf("LPM chose %v", p.NextHop)
+	}
+	if _, p, _ := tb.Lookup(addr("10.2.0.1")); p.NextHop != addr("10.0.0.1") {
+		t.Fatalf("fallback chose %v", p.NextHop)
+	}
+}
+
+func TestBestPathPrefersLowerMetricAndSkipsExpired(t *testing.T) {
+	tb, clk := newTable()
+	tb.Upsert(Entry{
+		Dst: host("10.0.0.9"),
+		Paths: []Path{
+			{NextHop: addr("10.0.0.2"), Metric: 4},
+			{NextHop: addr("10.0.0.3"), Metric: 2, Expires: epoch.Add(10 * time.Millisecond)},
+		},
+		Valid: true,
+	})
+	if _, p, _ := tb.Lookup(addr("10.0.0.9")); p.NextHop != addr("10.0.0.3") {
+		t.Fatalf("best path = %v", p.NextHop)
+	}
+	clk.Advance(20 * time.Millisecond)
+	if _, p, _ := tb.Lookup(addr("10.0.0.9")); p.NextHop != addr("10.0.0.2") {
+		t.Fatalf("after expiry best path = %v", p.NextHop)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	tb, _ := newTable()
+	dst := host("10.0.0.7")
+	tb.Upsert(Entry{Dst: dst, Paths: []Path{{NextHop: addr("10.0.0.2")}}, Valid: true, SeqNum: 9})
+	if !tb.Invalidate(dst) {
+		t.Fatal("Invalidate on valid route = false")
+	}
+	if tb.Invalidate(dst) {
+		t.Fatal("Invalidate twice = true")
+	}
+	if _, _, err := tb.Lookup(addr("10.0.0.7")); !errors.Is(err, ErrNoRoute) {
+		t.Fatal("invalidated route still resolvable")
+	}
+	// Entry retained for its sequence number.
+	e, ok := tb.Get(dst)
+	if !ok || e.SeqNum != 9 || e.Valid {
+		t.Fatalf("retained entry = %+v, %v", e, ok)
+	}
+}
+
+func TestAddPathAndInvalidatePath(t *testing.T) {
+	tb, _ := newTable()
+	dst := host("10.0.0.8")
+	tb.AddPath(dst, "dymo", 1, Path{NextHop: addr("10.0.0.2"), Metric: 3})
+	tb.AddPath(dst, "dymo", 1, Path{NextHop: addr("10.0.0.3"), Metric: 2})
+	tb.AddPath(dst, "dymo", 1, Path{NextHop: addr("10.0.0.2"), Metric: 4}) // refresh, not dup
+	e, ok := tb.Get(dst)
+	if !ok || len(e.Paths) != 2 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if remains := tb.InvalidatePath(dst, addr("10.0.0.3")); !remains {
+		t.Fatal("entry should remain valid with one path left")
+	}
+	if _, p, _ := tb.Lookup(addr("10.0.0.8")); p.NextHop != addr("10.0.0.2") || p.Metric != 4 {
+		t.Fatalf("surviving path = %+v", p)
+	}
+	if remains := tb.InvalidatePath(dst, addr("10.0.0.2")); remains {
+		t.Fatal("entry should be invalid with no paths")
+	}
+}
+
+func TestInvalidateVia(t *testing.T) {
+	tb, _ := newTable()
+	via := addr("10.0.0.2")
+	tb.Upsert(Entry{Dst: host("10.0.0.5"), Paths: []Path{{NextHop: via, Metric: 2}}, Valid: true})
+	tb.Upsert(Entry{Dst: host("10.0.0.6"), Paths: []Path{{NextHop: via, Metric: 3}}, Valid: true})
+	tb.Upsert(Entry{Dst: host("10.0.0.7"), Paths: []Path{{NextHop: addr("10.0.0.3"), Metric: 1}}, Valid: true})
+	affected := tb.InvalidateVia(via)
+	if len(affected) != 2 {
+		t.Fatalf("affected = %v", affected)
+	}
+	if tb.ValidCount() != 1 {
+		t.Fatalf("ValidCount = %d", tb.ValidCount())
+	}
+	// Multipath entry survives losing one of two next hops.
+	tb.Upsert(Entry{Dst: host("10.0.0.9"), Paths: []Path{
+		{NextHop: via, Metric: 2}, {NextHop: addr("10.0.0.4"), Metric: 3},
+	}, Valid: true})
+	tb.InvalidateVia(via)
+	if _, p, err := tb.Lookup(addr("10.0.0.9")); err != nil || p.NextHop != addr("10.0.0.4") {
+		t.Fatalf("multipath survivor = %+v, %v", p, err)
+	}
+}
+
+func TestExtendLifetimeAndPurge(t *testing.T) {
+	tb, clk := newTable()
+	dst := host("10.0.0.5")
+	tb.Upsert(Entry{Dst: dst, Paths: []Path{{NextHop: addr("10.0.0.2"), Expires: epoch.Add(50 * time.Millisecond)}}, Valid: true})
+	if !tb.ExtendLifetime(dst, mnet.Addr{}, 200*time.Millisecond) {
+		t.Fatal("ExtendLifetime = false")
+	}
+	clk.Advance(100 * time.Millisecond)
+	if n := tb.PurgeExpired(); n != 0 {
+		t.Fatalf("purged %d after extension", n)
+	}
+	clk.Advance(150 * time.Millisecond)
+	if n := tb.PurgeExpired(); n != 1 {
+		t.Fatalf("purged %d, want 1", n)
+	}
+	if tb.ValidCount() != 0 {
+		t.Fatal("expired route still valid")
+	}
+	if tb.ExtendLifetime(dst, mnet.Addr{}, time.Second) {
+		t.Fatal("ExtendLifetime on invalid entry = true")
+	}
+}
+
+func TestRemoveAndClear(t *testing.T) {
+	tb, _ := newTable()
+	tb.Upsert(Entry{Dst: host("10.0.0.5"), Paths: []Path{{NextHop: addr("10.0.0.2")}}, Valid: true})
+	if !tb.Remove(host("10.0.0.5")) {
+		t.Fatal("Remove = false")
+	}
+	if tb.Remove(host("10.0.0.5")) {
+		t.Fatal("double Remove = true")
+	}
+	tb.Upsert(Entry{Dst: host("10.0.0.6"), Paths: []Path{{NextHop: addr("10.0.0.2")}}, Valid: true})
+	tb.Clear()
+	if len(tb.Entries()) != 0 {
+		t.Fatal("Clear left entries")
+	}
+}
+
+func TestOnChangeNotifications(t *testing.T) {
+	tb, _ := newTable()
+	var kinds []ChangeKind
+	tb.OnChange(func(k ChangeKind, e Entry) { kinds = append(kinds, k) })
+	dst := host("10.0.0.5")
+	tb.Upsert(Entry{Dst: dst, Paths: []Path{{NextHop: addr("10.0.0.2")}}, Valid: true})
+	tb.Upsert(Entry{Dst: dst, Paths: []Path{{NextHop: addr("10.0.0.3")}}, Valid: true})
+	tb.Invalidate(dst)
+	tb.Remove(dst)
+	want := []ChangeKind{Added, Updated, Invalidated, Removed}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	tb.OnChange(nil)
+	tb.Upsert(Entry{Dst: dst, Paths: []Path{{NextHop: addr("10.0.0.2")}}, Valid: true})
+	if len(kinds) != len(want) {
+		t.Fatal("listener fired after removal")
+	}
+}
+
+func TestFIBMirroring(t *testing.T) {
+	tb, _ := newTable()
+	fib := NewFIB()
+	tb.SyncFIB(fib, "emu0")
+	dst := host("10.0.0.5")
+	tb.Upsert(Entry{Dst: dst, Paths: []Path{{NextHop: addr("10.0.0.2"), Metric: 2}}, Valid: true, Proto: "olsr"})
+	r, ok := fib.Lookup(addr("10.0.0.5"))
+	if !ok || r.NextHop != addr("10.0.0.2") || r.Device != "emu0" || r.Proto != "olsr" {
+		t.Fatalf("FIB route = %+v, %v", r, ok)
+	}
+	tb.Invalidate(dst)
+	if _, ok := fib.Lookup(addr("10.0.0.5")); ok {
+		t.Fatal("invalidated route still in FIB")
+	}
+	// Late sync mirrors existing entries.
+	tb2, _ := newTable()
+	tb2.Upsert(Entry{Dst: dst, Paths: []Path{{NextHop: addr("10.0.0.3")}}, Valid: true})
+	fib2 := NewFIB()
+	tb2.SyncFIB(fib2, "emu1")
+	if _, ok := fib2.Lookup(addr("10.0.0.5")); !ok {
+		t.Fatal("SyncFIB did not mirror existing entries")
+	}
+}
+
+func TestFIBBasics(t *testing.T) {
+	fib := NewFIB()
+	fib.Set(FIBRoute{Dst: mnet.Prefix{Addr: addr("10.0.0.0"), Bits: 8}, NextHop: addr("10.0.0.1"), Proto: "olsr"})
+	fib.Set(FIBRoute{Dst: host("10.1.2.3"), NextHop: addr("10.0.0.2"), Proto: "dymo"})
+	if r, ok := fib.Lookup(addr("10.1.2.3")); !ok || r.NextHop != addr("10.0.0.2") {
+		t.Fatalf("LPM = %+v, %v", r, ok)
+	}
+	if fib.Len() != 2 || len(fib.List()) != 2 {
+		t.Fatalf("Len = %d", fib.Len())
+	}
+	if n := fib.FlushProto("dymo"); n != 1 {
+		t.Fatalf("FlushProto = %d", n)
+	}
+	if !fib.Del(mnet.Prefix{Addr: addr("10.0.0.0"), Bits: 8}) {
+		t.Fatal("Del = false")
+	}
+	if fib.Del(host("9.9.9.9")) {
+		t.Fatal("Del absent = true")
+	}
+}
+
+func TestLookupInvariantProperty(t *testing.T) {
+	// Property: for any set of valid host routes, Lookup(d) succeeds exactly
+	// when d was inserted, and returns that entry.
+	f := func(raw []uint32) bool {
+		tb, _ := newTable()
+		seen := make(map[mnet.Addr]bool)
+		for _, u := range raw {
+			a := mnet.AddrFrom(u)
+			if a.IsBroadcast() || a.IsUnspecified() {
+				continue
+			}
+			seen[a] = true
+			tb.Upsert(Entry{Dst: mnet.HostPrefix(a), Paths: []Path{{NextHop: a, Metric: 1}}, Valid: true})
+		}
+		for a := range seen {
+			e, _, err := tb.Lookup(a)
+			if err != nil || e.Dst != mnet.HostPrefix(a) {
+				return false
+			}
+		}
+		_, _, err := tb.Lookup(mnet.Broadcast)
+		return errors.Is(err, ErrNoRoute)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntriesSortedAndCopied(t *testing.T) {
+	tb, _ := newTable()
+	tb.Upsert(Entry{Dst: host("10.0.0.9"), Paths: []Path{{NextHop: addr("10.0.0.2")}}, Valid: true})
+	tb.Upsert(Entry{Dst: host("10.0.0.1"), Paths: []Path{{NextHop: addr("10.0.0.2")}}, Valid: true})
+	es := tb.Entries()
+	if len(es) != 2 || !es[0].Dst.Addr.Less(es[1].Dst.Addr) {
+		t.Fatalf("Entries = %+v", es)
+	}
+	es[0].Paths[0].NextHop = addr("99.9.9.9")
+	if _, p, _ := tb.Lookup(addr("10.0.0.1")); p.NextHop == addr("99.9.9.9") {
+		t.Fatal("Entries aliases internal storage")
+	}
+}
+
+func TestUpsertEmptyPathsIsInvalid(t *testing.T) {
+	tb, _ := newTable()
+	tb.Upsert(Entry{Dst: host("10.0.0.5"), Valid: true})
+	if tb.ValidCount() != 0 {
+		t.Fatal("entry with no paths counted valid")
+	}
+}

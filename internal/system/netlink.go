@@ -1,0 +1,250 @@
+package system
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"manetkit/internal/emunet"
+	"manetkit/internal/event"
+	"manetkit/internal/mnet"
+)
+
+// dataHeader is the wire header of a data packet:
+// [wireData][src 4][dst 4][ttl 1][id 8][payload...].
+const dataHeaderLen = 1 + 2*mnet.AddrLen + 1 + 8
+
+type dataPacket struct {
+	Src     mnet.Addr
+	Dst     mnet.Addr
+	TTL     uint8
+	ID      uint64
+	Payload []byte
+}
+
+func encodeData(p *dataPacket) []byte {
+	buf := make([]byte, 0, dataHeaderLen+len(p.Payload))
+	buf = append(buf, wireData)
+	buf = append(buf, p.Src[:]...)
+	buf = append(buf, p.Dst[:]...)
+	buf = append(buf, p.TTL)
+	buf = append(buf,
+		byte(p.ID>>56), byte(p.ID>>48), byte(p.ID>>40), byte(p.ID>>32),
+		byte(p.ID>>24), byte(p.ID>>16), byte(p.ID>>8), byte(p.ID))
+	return append(buf, p.Payload...)
+}
+
+func decodeData(b []byte) (*dataPacket, error) {
+	if len(b) < dataHeaderLen || b[0] != wireData {
+		return nil, fmt.Errorf("system: malformed data packet (%d bytes)", len(b))
+	}
+	p := &dataPacket{}
+	copy(p.Src[:], b[1:5])
+	copy(p.Dst[:], b[5:9])
+	p.TTL = b[9]
+	for i := 0; i < 8; i++ {
+		p.ID = p.ID<<8 | uint64(b[10+i])
+	}
+	p.Payload = append([]byte(nil), b[dataHeaderLen:]...)
+	return p, nil
+}
+
+// Netlink is the public face of the packet-filter component — the analogue
+// of the paper's kernel module using Netfilter hooks to "examine, hold,
+// drop" packets (§5.2).
+type Netlink netlink
+
+// netlink is the implementation.
+type netlink struct {
+	s       *System
+	ttl     uint8
+	cap     int
+	timeout time.Duration
+
+	mu        sync.Mutex
+	nextID    uint64
+	buffered  map[mnet.Addr][]*dataPacket
+	onDeliver func(src mnet.Addr, payload []byte)
+}
+
+func newNetlink(s *System, ttl uint8, bufCap int, timeout time.Duration) *netlink {
+	return &netlink{
+		s:        s,
+		ttl:      ttl,
+		cap:      bufCap,
+		timeout:  timeout,
+		buffered: make(map[mnet.Addr][]*dataPacket),
+	}
+}
+
+// OnDeliver installs the local-delivery upcall for data packets addressed
+// to this node.
+func (n *Netlink) OnDeliver(fn func(src mnet.Addr, payload []byte)) {
+	nl := (*netlink)(n)
+	nl.mu.Lock()
+	defer nl.mu.Unlock()
+	nl.onDeliver = fn
+}
+
+// SendData originates a data packet towards dst. With a route in the FIB it
+// is forwarded immediately (refreshing the route's lifetime via
+// ROUTE_UPDATE); without one it is held and NO_ROUTE is raised so a
+// reactive protocol can start discovery.
+func (n *Netlink) SendData(dst mnet.Addr, payload []byte) error {
+	nl := (*netlink)(n)
+	nl.mu.Lock()
+	nl.nextID++
+	pkt := &dataPacket{Src: nl.s.nic.Addr(), Dst: dst, TTL: nl.ttl, ID: nl.nextID}
+	nl.mu.Unlock()
+	pkt.Payload = append([]byte(nil), payload...)
+	return nl.route(pkt, true)
+}
+
+// BufferedCount reports how many packets are held for dst.
+func (n *Netlink) BufferedCount(dst mnet.Addr) int {
+	nl := (*netlink)(n)
+	nl.mu.Lock()
+	defer nl.mu.Unlock()
+	return len(nl.buffered[dst])
+}
+
+// route forwards or buffers one packet. originated marks locally-created
+// packets (eligible for buffering + NO_ROUTE).
+func (nl *netlink) route(pkt *dataPacket, originated bool) error {
+	s := nl.s
+	me := s.nic.Addr()
+	if pkt.Dst == me {
+		nl.deliverLocal(pkt)
+		return nil
+	}
+	r, ok := s.fib.Lookup(pkt.Dst)
+	if !ok {
+		if !originated {
+			// Intermediate node with a broken path: tell the protocol to
+			// notify the source (§5.2 SEND_ROUTE_ERR).
+			s.bumpData(func(st *Stats) { st.DataDropped++ })
+			return s.proto.Emit(&event.Event{
+				Type:  event.SendRouteErr,
+				Route: &event.RoutePayload{Dst: pkt.Dst, Src: pkt.Src},
+			})
+		}
+		return nl.hold(pkt)
+	}
+	return nl.transmit(pkt, r.NextHop, originated)
+}
+
+// transmit sends the packet one hop with MAC feedback; a failed hop raises
+// LINK_BREAK.
+func (nl *netlink) transmit(pkt *dataPacket, nextHop mnet.Addr, originated bool) error {
+	s := nl.s
+	if originated {
+		s.bumpData(func(st *Stats) { st.DataSent++ })
+	} else {
+		if pkt.TTL <= 1 {
+			s.bumpData(func(st *Stats) { st.DataDropped++ })
+			return nil
+		}
+		pkt.TTL--
+		s.bumpData(func(st *Stats) { st.DataForwarded++ })
+	}
+	s.mu.Lock()
+	battery := s.battery
+	s.mu.Unlock()
+	if battery != nil {
+		battery.SpendFrame()
+	}
+	dst, src := pkt.Dst, pkt.Src
+	err := s.nic.SendWithFeedback(nextHop, encodeData(pkt), func(delivered bool) {
+		if delivered {
+			return
+		}
+		_ = s.proto.Emit(&event.Event{
+			Type:  event.LinkBreak,
+			Route: &event.RoutePayload{Dst: dst, Src: src, NextHop: nextHop},
+		})
+	})
+	if err != nil {
+		return err
+	}
+	return s.proto.Emit(&event.Event{
+		Type:  event.RouteUpdate,
+		Route: &event.RoutePayload{Dst: dst, Src: src, NextHop: nextHop},
+	})
+}
+
+// hold buffers a route-less packet and raises NO_ROUTE.
+func (nl *netlink) hold(pkt *dataPacket) error {
+	s := nl.s
+	nl.mu.Lock()
+	q := nl.buffered[pkt.Dst]
+	if len(q) >= nl.cap {
+		nl.mu.Unlock()
+		s.bumpData(func(st *Stats) { st.DataDropped++ })
+		return nil
+	}
+	nl.buffered[pkt.Dst] = append(q, pkt)
+	nl.mu.Unlock()
+	s.bumpData(func(st *Stats) { st.DataBuffered++ })
+
+	// Expire the held packet if discovery never completes.
+	if clk := s.proto.Clock(); clk != nil {
+		id, dst := pkt.ID, pkt.Dst
+		clk.AfterFunc(nl.timeout, func() { nl.expire(dst, id) })
+	}
+
+	return s.proto.Emit(&event.Event{
+		Type:  event.NoRoute,
+		Route: &event.RoutePayload{Dst: pkt.Dst, Src: pkt.Src, PacketID: pkt.ID},
+	})
+}
+
+func (nl *netlink) expire(dst mnet.Addr, id uint64) {
+	nl.mu.Lock()
+	q := nl.buffered[dst]
+	for i, p := range q {
+		if p.ID == id {
+			nl.buffered[dst] = append(q[:i], q[i+1:]...)
+			nl.mu.Unlock()
+			nl.s.bumpData(func(st *Stats) { st.DataDropped++ })
+			return
+		}
+	}
+	nl.mu.Unlock()
+}
+
+// reinject drains the buffer for dst after ROUTE_FOUND.
+func (nl *netlink) reinject(dst mnet.Addr) {
+	nl.mu.Lock()
+	q := nl.buffered[dst]
+	delete(nl.buffered, dst)
+	nl.mu.Unlock()
+	for _, pkt := range q {
+		_ = nl.route(pkt, true)
+	}
+}
+
+// receiveData handles an incoming data frame: local delivery or forwarding.
+func (nl *netlink) receiveData(f emunet.Frame) {
+	pkt, err := decodeData(f.Payload)
+	if err != nil {
+		nl.s.bumpDecodeErr()
+		return
+	}
+	_ = nl.route(pkt, false)
+}
+
+func (nl *netlink) deliverLocal(pkt *dataPacket) {
+	nl.s.bumpData(func(st *Stats) { st.DataDelivered++ })
+	nl.mu.Lock()
+	fn := nl.onDeliver
+	nl.mu.Unlock()
+	if fn != nil {
+		fn(pkt.Src, pkt.Payload)
+	}
+}
+
+func (s *System) bumpData(fn func(*Stats)) {
+	s.mu.Lock()
+	fn(&s.stats)
+	s.mu.Unlock()
+}

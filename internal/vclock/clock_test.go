@@ -1,0 +1,340 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestVirtualNowAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	if !v.Now().Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", v.Now(), epoch)
+	}
+	v.Advance(3 * time.Second)
+	if got, want := v.Now(), epoch.Add(3*time.Second); !got.Equal(want) {
+		t.Fatalf("after Advance: Now() = %v, want %v", got, want)
+	}
+	if v.Since(epoch) != 3*time.Second {
+		t.Fatalf("Since(epoch) = %v", v.Since(epoch))
+	}
+}
+
+func TestVirtualFiresInDeadlineOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	var order []int
+	v.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	v.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	v.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+
+	if fired := v.Advance(25 * time.Millisecond); fired != 2 {
+		t.Fatalf("Advance fired %d, want 2", fired)
+	}
+	if fired := v.Advance(10 * time.Millisecond); fired != 1 {
+		t.Fatalf("second Advance fired %d, want 1", fired)
+	}
+	for i, got := range order {
+		if got != i+1 {
+			t.Fatalf("firing order = %v", order)
+		}
+	}
+}
+
+func TestVirtualTieBreakIsRegistrationOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		v.AfterFunc(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	v.Advance(5 * time.Millisecond)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie-break order = %v", order)
+		}
+	}
+}
+
+func TestVirtualClockTimeDuringCallback(t *testing.T) {
+	v := NewVirtual(epoch)
+	var seen time.Time
+	v.AfterFunc(7*time.Millisecond, func() { seen = v.Now() })
+	v.Advance(time.Second)
+	if want := epoch.Add(7 * time.Millisecond); !seen.Equal(want) {
+		t.Fatalf("Now() inside callback = %v, want %v", seen, want)
+	}
+}
+
+func TestVirtualCallbackSchedulesMore(t *testing.T) {
+	v := NewVirtual(epoch)
+	var hops int
+	var schedule func()
+	schedule = func() {
+		hops++
+		if hops < 5 {
+			v.AfterFunc(time.Millisecond, schedule)
+		}
+	}
+	v.AfterFunc(time.Millisecond, schedule)
+	v.Advance(10 * time.Millisecond)
+	if hops != 5 {
+		t.Fatalf("hops = %d, want 5", hops)
+	}
+}
+
+func TestVirtualStop(t *testing.T) {
+	v := NewVirtual(epoch)
+	fired := false
+	tm := v.AfterFunc(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() on pending timer = false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true")
+	}
+	v.Advance(time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestVirtualReset(t *testing.T) {
+	v := NewVirtual(epoch)
+	var firedAt time.Time
+	tm := v.AfterFunc(time.Millisecond, func() { firedAt = v.Now() })
+	if !tm.Reset(50 * time.Millisecond) {
+		t.Fatal("Reset on pending timer = false")
+	}
+	v.Advance(time.Second)
+	if want := epoch.Add(50 * time.Millisecond); !firedAt.Equal(want) {
+		t.Fatalf("fired at %v, want %v", firedAt, want)
+	}
+	// Reset after firing re-arms.
+	if tm.Reset(time.Millisecond) {
+		t.Fatal("Reset on fired timer = true")
+	}
+	firedAt = time.Time{}
+	v.Advance(time.Millisecond)
+	if firedAt.IsZero() {
+		t.Fatal("re-armed timer did not fire")
+	}
+}
+
+func TestVirtualStepAndRunUntilIdle(t *testing.T) {
+	v := NewVirtual(epoch)
+	n := 0
+	for i := 1; i <= 4; i++ {
+		v.AfterFunc(time.Duration(i)*time.Millisecond, func() { n++ })
+	}
+	if !v.Step() {
+		t.Fatal("Step with pending timers = false")
+	}
+	if n != 1 {
+		t.Fatalf("after Step n = %d", n)
+	}
+	if got := v.RunUntilIdle(2); got != 2 {
+		t.Fatalf("RunUntilIdle(2) = %d", got)
+	}
+	if got := v.RunUntilIdle(-1); got != 1 {
+		t.Fatalf("RunUntilIdle(-1) = %d", got)
+	}
+	if v.Step() {
+		t.Fatal("Step on idle clock = true")
+	}
+	if v.Pending() != 0 {
+		t.Fatalf("Pending = %d", v.Pending())
+	}
+}
+
+func TestVirtualNextDeadline(t *testing.T) {
+	v := NewVirtual(epoch)
+	if _, ok := v.NextDeadline(); ok {
+		t.Fatal("NextDeadline on empty clock reported a deadline")
+	}
+	v.AfterFunc(9*time.Millisecond, func() {})
+	d, ok := v.NextDeadline()
+	if !ok || !d.Equal(epoch.Add(9*time.Millisecond)) {
+		t.Fatalf("NextDeadline = %v, %v", d, ok)
+	}
+}
+
+func TestVirtualRunUntil(t *testing.T) {
+	v := NewVirtual(epoch)
+	n := 0
+	v.AfterFunc(5*time.Millisecond, func() { n++ })
+	v.AfterFunc(15*time.Millisecond, func() { n++ })
+	v.RunUntil(epoch.Add(10 * time.Millisecond))
+	if n != 1 {
+		t.Fatalf("n = %d, want 1", n)
+	}
+	if !v.Now().Equal(epoch.Add(10 * time.Millisecond)) {
+		t.Fatalf("Now = %v", v.Now())
+	}
+	if v.RunUntil(epoch) != 0 { // past target is a no-op
+		t.Fatal("RunUntil in the past fired timers")
+	}
+}
+
+func TestVirtualReentrantAdvancePanics(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.AfterFunc(time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Advance did not panic")
+			}
+		}()
+		v.Advance(time.Millisecond)
+	})
+	v.Advance(time.Millisecond)
+}
+
+func TestVirtualConcurrentAfterFunc(t *testing.T) {
+	v := NewVirtual(epoch)
+	var mu sync.Mutex
+	count := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v.AfterFunc(time.Millisecond, func() {
+				mu.Lock()
+				count++
+				mu.Unlock()
+			})
+		}()
+	}
+	wg.Wait()
+	v.Advance(time.Millisecond)
+	if count != 50 {
+		t.Fatalf("count = %d, want 50", count)
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := Real()
+	start := c.Now()
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("real AfterFunc never fired")
+	}
+	if c.Since(start) <= 0 {
+		t.Fatal("Since returned non-positive duration")
+	}
+}
+
+func TestRealTimerStop(t *testing.T) {
+	c := Real()
+	tm := c.AfterFunc(time.Hour, func() { t.Error("should not fire") })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending real timer = false")
+	}
+}
+
+func TestPeriodicFiresRepeatedly(t *testing.T) {
+	v := NewVirtual(epoch)
+	n := 0
+	p := NewPeriodic(v, 10*time.Millisecond, 0, 1, func() { n++ })
+	v.Advance(95 * time.Millisecond)
+	if n != 9 {
+		t.Fatalf("fired %d times, want 9", n)
+	}
+	p.Stop()
+	v.Advance(100 * time.Millisecond)
+	if n != 9 {
+		t.Fatalf("fired after Stop: %d", n)
+	}
+}
+
+func TestPeriodicJitterBounds(t *testing.T) {
+	v := NewVirtual(epoch)
+	var times []time.Time
+	p := NewPeriodic(v, 100*time.Millisecond, 0.25, 42, func() { times = append(times, v.Now()) })
+	defer p.Stop()
+	v.Advance(2 * time.Second)
+	if len(times) < 10 {
+		t.Fatalf("too few firings: %d", len(times))
+	}
+	prev := epoch
+	varied := false
+	for _, ts := range times {
+		gap := ts.Sub(prev)
+		if gap < 75*time.Millisecond || gap > 125*time.Millisecond {
+			t.Fatalf("gap %v outside jitter bounds", gap)
+		}
+		if gap != 100*time.Millisecond {
+			varied = true
+		}
+		prev = ts
+	}
+	if !varied {
+		t.Fatal("jitter produced no variation")
+	}
+}
+
+func TestPeriodicDeterministicSeed(t *testing.T) {
+	run := func() []time.Duration {
+		v := NewVirtual(epoch)
+		var gaps []time.Duration
+		prev := epoch
+		p := NewPeriodic(v, 50*time.Millisecond, 0.5, 7, func() {
+			gaps = append(gaps, v.Now().Sub(prev))
+			prev = v.Now()
+		})
+		defer p.Stop()
+		v.Advance(time.Second)
+		return gaps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gap %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPeriodicSetInterval(t *testing.T) {
+	v := NewVirtual(epoch)
+	n := 0
+	p := NewPeriodic(v, 10*time.Millisecond, 0, 1, func() { n++ })
+	defer p.Stop()
+	v.Advance(10 * time.Millisecond) // first firing
+	p.SetInterval(100 * time.Millisecond)
+	if p.Interval() != 100*time.Millisecond {
+		t.Fatalf("Interval = %v", p.Interval())
+	}
+	v.Advance(99 * time.Millisecond)
+	if n != 1 {
+		t.Fatalf("fired early: n = %d", n)
+	}
+	v.Advance(time.Millisecond)
+	if n != 2 {
+		t.Fatalf("did not fire at new interval: n = %d", n)
+	}
+}
+
+func TestPeriodicValidation(t *testing.T) {
+	v := NewVirtual(epoch)
+	for _, fn := range []func(){
+		func() { NewPeriodic(v, 0, 0, 1, func() {}) },
+		func() { NewPeriodic(v, time.Second, 1.0, 1, func() {}) },
+		func() { NewPeriodic(v, time.Second, -0.1, 1, func() {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid NewPeriodic did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,186 @@
+package zrp
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"manetkit/internal/core"
+	"manetkit/internal/emunet"
+	"manetkit/internal/mnet"
+	"manetkit/internal/mpr"
+	"manetkit/internal/testbed"
+)
+
+type zrpNode struct {
+	node  *testbed.Node
+	relay *mpr.MPR
+	zrp   *ZRP
+}
+
+func deployZRP(t *testing.T, n int, cfg Config) (*testbed.Cluster, []*zrpNode) {
+	t.Helper()
+	c, err := testbed.New(n, testbed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	nodes := make([]*zrpNode, n)
+	for i, node := range c.Nodes {
+		relay := mpr.New("", mpr.Config{HelloInterval: time.Second})
+		cfg := cfg
+		cfg.Clock = c.Clock
+		cfg.FIB = node.FIB()
+		cfg.Device = node.Sys.NIC().Device()
+		z := New("", relay, cfg)
+		for _, u := range []*core.Protocol{relay.Protocol(), z.Protocol()} {
+			if err := node.Mgr.Deploy(u); err != nil {
+				t.Fatal(err)
+			}
+			if err := u.Start(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes[i] = &zrpNode{node: node, relay: relay, zrp: z}
+	}
+	return c, nodes
+}
+
+func TestIntrazoneRoutesAreProactive(t *testing.T) {
+	// Line of 3: everything is within each node's radius-2 zone; no
+	// discovery ever happens.
+	c, nodes := deployZRP(t, 3, Config{})
+	if err := c.Line(); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(6 * time.Second)
+	for i, zn := range nodes {
+		if got := zn.zrp.Routes().ValidCount(); got != 2 {
+			t.Fatalf("node %d has %d zone routes, want 2", i, got)
+		}
+	}
+	// End-to-end data without discovery.
+	var mu sync.Mutex
+	delivered := 0
+	nodes[2].node.Sys.Filter().OnDeliver(func(mnet.Addr, []byte) {
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
+	nodes[0].node.Sys.Filter().SendData(c.Addrs()[2], []byte("in-zone"))
+	c.Run(time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+	if st := nodes[0].zrp.State().Stats(); st.Discoveries != 0 {
+		t.Fatalf("in-zone traffic triggered discovery: %+v", st)
+	}
+}
+
+func TestInterzoneDiscoveryAnsweredByZone(t *testing.T) {
+	// Line of 6: node 1 -> node 6 is out of zone; some node whose zone
+	// covers node 6 (node 4 or 5) answers before the RREQ reaches node 6.
+	c, nodes := deployZRP(t, 6, Config{})
+	if err := c.Line(); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(6 * time.Second)
+
+	var mu sync.Mutex
+	delivered := 0
+	nodes[5].node.Sys.Filter().OnDeliver(func(mnet.Addr, []byte) {
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
+	nodes[0].node.Sys.Filter().SendData(c.Addrs()[5], []byte("out-of-zone"))
+	c.Run(2 * time.Second)
+
+	mu.Lock()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+	mu.Unlock()
+	_, p, err := nodes[0].zrp.Routes().Lookup(c.Addrs()[5])
+	if err != nil {
+		t.Fatalf("no interzone route: %v", err)
+	}
+	if p.Metric != 5 || p.NextHop != c.Addrs()[1] {
+		t.Fatalf("interzone route = %+v", p)
+	}
+	// A zone answer happened; the target never answered itself.
+	var zoneAnswers, terminalAnswers uint64
+	for _, zn := range nodes {
+		st := zn.zrp.State().Stats()
+		zoneAnswers += st.ZoneAnswers
+		terminalAnswers += st.TerminalAnswers
+	}
+	if zoneAnswers == 0 {
+		t.Fatal("no in-zone node answered for the target")
+	}
+	if terminalAnswers != 0 {
+		t.Fatalf("target answered itself despite zone coverage: %d", terminalAnswers)
+	}
+}
+
+func TestHybridFloodShallowerThanReactive(t *testing.T) {
+	// On the 6-line, ZRP's RREQ stops at the first node whose zone covers
+	// the target. Pure reactive flooding would forward at nodes 2,3,4,5;
+	// ZRP must forward strictly fewer times.
+	c, nodes := deployZRP(t, 6, Config{})
+	if err := c.Line(); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(6 * time.Second)
+	nodes[0].node.Sys.Filter().SendData(c.Addrs()[5], []byte("x"))
+	c.Run(2 * time.Second)
+	var forwards uint64
+	for _, zn := range nodes {
+		forwards += zn.zrp.State().Stats().RREQForwards
+	}
+	if forwards >= 4 {
+		t.Fatalf("hybrid flood forwarded %d times; expected < 4 (pure reactive)", forwards)
+	}
+}
+
+func TestZoneRepairAfterLinkBreak(t *testing.T) {
+	c, nodes := deployZRP(t, 3, Config{})
+	if err := c.Line(); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(6 * time.Second)
+	if _, _, err := nodes[0].zrp.Routes().Lookup(c.Addrs()[2]); err != nil {
+		t.Fatal("setup: no zone route")
+	}
+	// Cut 2-3: node 3 leaves node 1's zone and the route ages out.
+	c.Net.CutLink(c.Addrs()[1], c.Addrs()[2])
+	c.Run(15 * time.Second)
+	if _, _, err := nodes[0].zrp.Routes().Lookup(c.Addrs()[2]); err == nil {
+		t.Fatal("zone route survived partition")
+	}
+	// Heal: the zone re-forms.
+	if err := c.Net.SetLink(c.Addrs()[1], c.Addrs()[2], qualityOf(c)); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(10 * time.Second)
+	if _, _, err := nodes[0].zrp.Routes().Lookup(c.Addrs()[2]); err != nil {
+		t.Fatal("zone route did not re-form after heal")
+	}
+}
+
+func TestGiveUpUnreachable(t *testing.T) {
+	c, nodes := deployZRP(t, 2, Config{RREQWait: 100 * time.Millisecond, RREQTries: 2})
+	// No links.
+	nodes[0].node.Sys.Filter().SendData(c.Addrs()[1], []byte("x"))
+	c.Run(2 * time.Second)
+	if st := nodes[0].zrp.State().Stats(); st.GiveUps != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func qualityOf(c *testbed.Cluster) emunet.Quality {
+	_ = c
+	return emunet.DefaultQuality()
+}

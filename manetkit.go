@@ -1,0 +1,613 @@
+// Package manetkit is the public API of this MANETKit reproduction: a
+// runtime component framework for the construction, dynamic deployment and
+// runtime reconfiguration of mobile ad-hoc network (MANET) routing
+// protocols, after Ramdhany, Grace, Coulson & Hutchison, "MANETKit:
+// Supporting the Dynamic Deployment and Reconfiguration of Ad-Hoc Routing
+// Protocols" (Middleware 2009).
+//
+// A deployment is a Stack: one node's Framework Manager plus its System CF
+// grounded in an emulated 802.11 medium (Network). Protocols — OLSR over
+// multipoint relaying, reactive DYMO, or custom compositions built from
+// core.Protocol — are deployed into the stack serially or simultaneously;
+// their <required-events, provided-events> tuples wire them together
+// automatically, and fine-grained variants (fisheye, power-aware routing,
+// multipath DYMO, MPR-optimised flooding) are applied by runtime
+// reconfiguration.
+//
+//	clk := manetkit.NewVirtualClock(time.Now())
+//	net := manetkit.NewNetwork(clk, 1)
+//	stacks, _ := manetkit.NewStacks(net, manetkit.Addrs(5), manetkit.StackOptions{})
+//	manetkit.BuildLine(net, manetkit.Addrs(5), manetkit.DefaultQuality())
+//	for _, s := range stacks { s.DeployDYMO(manetkit.DYMOConfig{}) }
+//	stacks[0].SendData(stacks[4].Addr(), []byte("hello multi-hop world"))
+//	clk.Advance(time.Second)
+package manetkit
+
+import (
+	"fmt"
+	"time"
+
+	"manetkit/internal/aodv"
+	"manetkit/internal/coord"
+	"manetkit/internal/core"
+	"manetkit/internal/dymo"
+	"manetkit/internal/emunet"
+	"manetkit/internal/event"
+	"manetkit/internal/mnet"
+	"manetkit/internal/mpr"
+	"manetkit/internal/neighbor"
+	"manetkit/internal/olsr"
+	"manetkit/internal/policy"
+	"manetkit/internal/system"
+	"manetkit/internal/vclock"
+	"manetkit/internal/zrp"
+)
+
+// Re-exported core types. The aliases make the internal packages' rich
+// APIs available through the public module path.
+type (
+	// Addr is a 4-byte node address.
+	Addr = mnet.Addr
+	// Prefix is an address prefix (CIDR-style).
+	Prefix = mnet.Prefix
+	// Clock abstracts time (real or virtual).
+	Clock = vclock.Clock
+	// VirtualClock is the deterministic simulation clock.
+	VirtualClock = vclock.Virtual
+	// Network is the emulated wireless medium.
+	Network = emunet.Network
+	// Quality describes one emulated link.
+	Quality = emunet.Quality
+	// Scenario is a scripted mobility trace.
+	Scenario = emunet.Scenario
+	// Manager is the Framework Manager / MANETKit CF.
+	Manager = core.Manager
+	// Protocol is the generic ManetProtocol CF.
+	Protocol = core.Protocol
+	// Event is the unit of communication between CFS units.
+	Event = event.Event
+	// EventType names an event kind.
+	EventType = event.Type
+	// Tuple is the <required-events, provided-events> declaration.
+	Tuple = event.Tuple
+	// Model selects the concurrency model.
+	Model = core.Model
+	// OLSR is the proactive protocol composition.
+	OLSR = olsr.OLSR
+	// DYMO is the reactive protocol composition.
+	DYMO = dymo.DYMO
+	// MPR is the multipoint-relay CF.
+	MPR = mpr.MPR
+	// NeighborDetector is the Neighbour Detection CF.
+	NeighborDetector = neighbor.Detector
+	// System is the System CF.
+	System = system.System
+	// Battery models a node power source.
+	Battery = system.Battery
+	// AODV is the on-demand distance-vector protocol composition.
+	AODV = aodv.AODV
+	// ZRP is the zone-routing hybrid composition.
+	ZRP = zrp.ZRP
+	// PolicyEngine is the ECA decision-making layer (§4.5).
+	PolicyEngine = policy.Engine
+	// PolicyRule is one event-condition-action rule.
+	PolicyRule = policy.Rule
+	// PolicyMetrics are the rolling aggregates rules condition on.
+	PolicyMetrics = policy.Metrics
+)
+
+// Concurrency models (§4.4 of the paper).
+const (
+	SingleThreaded = core.SingleThreaded
+	PerMessage     = core.PerMessage
+	PerN           = core.PerN
+)
+
+// Broadcast is the link-local broadcast address.
+var Broadcast = mnet.Broadcast
+
+// ParseAddr parses a dotted-quad node address.
+func ParseAddr(s string) (Addr, error) { return mnet.ParseAddr(s) }
+
+// MustParseAddr parses a dotted-quad address, panicking on error.
+func MustParseAddr(s string) Addr { return mnet.MustParseAddr(s) }
+
+// Addrs returns n sequential addresses starting at 10.0.0.1.
+func Addrs(n int) []Addr { return emunet.Addrs(n) }
+
+// NewVirtualClock returns a deterministic clock starting at start.
+func NewVirtualClock(start time.Time) *VirtualClock { return vclock.NewVirtual(start) }
+
+// NewBattery models a node power source for the POWER_STATUS sensor:
+// initial fraction, idle drain per second, drain per transmitted frame.
+func NewBattery(initial, perSecond, perFrame float64, start time.Time) *Battery {
+	return system.NewBattery(initial, perSecond, perFrame, start)
+}
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return vclock.Real() }
+
+// NewNetwork creates an emulated medium on the given clock; seed drives
+// the loss process.
+func NewNetwork(clock Clock, seed int64) *Network { return emunet.New(clock, seed) }
+
+// DefaultQuality approximates a healthy one-hop 802.11b/g link.
+func DefaultQuality() Quality { return emunet.DefaultQuality() }
+
+// Topology helpers.
+func BuildLine(n *Network, addrs []Addr, q Quality) error { return emunet.BuildLine(n, addrs, q) }
+func BuildGrid(n *Network, addrs []Addr, cols int, q Quality) error {
+	return emunet.BuildGrid(n, addrs, cols, q)
+}
+func BuildClique(n *Network, addrs []Addr, q Quality) error { return emunet.BuildClique(n, addrs, q) }
+
+// StackOptions tunes a node deployment.
+type StackOptions struct {
+	// Model is the concurrency model (default SingleThreaded).
+	Model Model
+	// Battery, when non-nil, powers the POWER_STATUS context sensor.
+	Battery *Battery
+	// SensorInterval is the context sensor period (default 1s).
+	SensorInterval time.Duration
+}
+
+// OLSRConfig parameterises an OLSR deployment.
+type OLSRConfig struct {
+	HelloInterval time.Duration // default 2s
+	TCInterval    time.Duration // default 5s
+}
+
+// DYMOConfig parameterises a DYMO deployment.
+type DYMOConfig struct {
+	HelloInterval time.Duration // neighbour sensing beacons, default 2s
+	RouteLifetime time.Duration // default 5s
+	HopLimit      uint8         // control-message propagation cap, default 10
+}
+
+// Stack is one node's MANETKit deployment: Framework Manager + System CF,
+// into which routing protocols are deployed and reconfigured at runtime.
+type Stack struct {
+	mgr *core.Manager
+	sys *system.System
+	net *emunet.Network
+
+	olsr    *olsr.OLSR
+	mpr     *mpr.MPR
+	dymo    *dymo.DYMO
+	aodv    *aodv.AODV
+	zrp     *zrp.ZRP
+	nd      *neighbor.Detector
+	fisheye *core.Protocol
+	policy  *policy.Engine
+}
+
+// NewStack attaches a node at addr to the network and boots its framework
+// and System CF.
+func NewStack(net *Network, addr Addr, opts StackOptions) (*Stack, error) {
+	if opts.Model == 0 {
+		opts.Model = SingleThreaded
+	}
+	nic, err := net.Attach(addr)
+	if err != nil {
+		return nil, fmt.Errorf("manetkit: %w", err)
+	}
+	mgr, err := core.NewManager(core.Config{Node: addr, Clock: net.Clock(), Model: opts.Model})
+	if err != nil {
+		return nil, fmt.Errorf("manetkit: %w", err)
+	}
+	sys, err := system.New(system.Config{
+		NIC:            nic,
+		Battery:        opts.Battery,
+		SensorInterval: opts.SensorInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("manetkit: %w", err)
+	}
+	if err := mgr.Deploy(sys.Protocol()); err != nil {
+		return nil, fmt.Errorf("manetkit: %w", err)
+	}
+	if err := sys.Protocol().Start(); err != nil {
+		return nil, fmt.Errorf("manetkit: %w", err)
+	}
+	return &Stack{mgr: mgr, sys: sys, net: net}, nil
+}
+
+// NewStacks builds one stack per address.
+func NewStacks(net *Network, addrs []Addr, opts StackOptions) ([]*Stack, error) {
+	stacks := make([]*Stack, 0, len(addrs))
+	for _, a := range addrs {
+		s, err := NewStack(net, a, opts)
+		if err != nil {
+			for _, built := range stacks {
+				built.Close()
+			}
+			return nil, err
+		}
+		stacks = append(stacks, s)
+	}
+	return stacks, nil
+}
+
+// Addr returns the node address.
+func (s *Stack) Addr() Addr { return s.mgr.Node() }
+
+// Manager exposes the Framework Manager (deployment, rewiring, context
+// concentrator, architecture meta-model).
+func (s *Stack) Manager() *Manager { return s.mgr }
+
+// System exposes the System CF.
+func (s *Stack) System() *System { return s.sys }
+
+// Deploy installs a custom protocol unit and starts it.
+func (s *Stack) Deploy(p *Protocol) error {
+	if err := s.mgr.Deploy(p); err != nil {
+		return err
+	}
+	return p.Start()
+}
+
+// Undeploy stops and removes a protocol unit by name.
+func (s *Stack) Undeploy(name string) error { return s.mgr.Undeploy(name) }
+
+// DeployOLSR installs the proactive composition (MPR CF + OLSR CF). The
+// deployment is idempotent per stack.
+func (s *Stack) DeployOLSR(cfg OLSRConfig) (*OLSR, error) {
+	if s.olsr != nil {
+		return s.olsr, nil
+	}
+	relay := s.mpr
+	if relay == nil {
+		relay = mpr.New("", mpr.Config{HelloInterval: cfg.HelloInterval})
+		if err := s.mgr.Deploy(relay.Protocol()); err != nil {
+			return nil, err
+		}
+		if err := relay.Protocol().Start(); err != nil {
+			return nil, err
+		}
+		s.mpr = relay
+	}
+	o := olsr.New("", relay, olsr.Config{
+		TCInterval: cfg.TCInterval,
+		Clock:      s.net.Clock(),
+		FIB:        s.sys.FIB(),
+		Device:     s.sys.NIC().Device(),
+	})
+	if err := s.mgr.Deploy(o.Protocol()); err != nil {
+		return nil, err
+	}
+	if err := o.Protocol().Start(); err != nil {
+		return nil, err
+	}
+	s.olsr = o
+	return o, nil
+}
+
+// UndeployOLSR removes the OLSR CF (the MPR CF stays, in case another
+// protocol shares it; remove it with UndeployMPR).
+func (s *Stack) UndeployOLSR() error {
+	if s.olsr == nil {
+		return nil
+	}
+	if err := s.mgr.Undeploy(s.olsr.Protocol().Name()); err != nil {
+		return err
+	}
+	s.sys.FIB().FlushProto(s.olsr.Protocol().Name())
+	s.olsr = nil
+	return nil
+}
+
+// UndeployMPR removes the MPR CF (only valid once nothing stacks on it).
+func (s *Stack) UndeployMPR() error {
+	if s.mpr == nil {
+		return nil
+	}
+	if s.olsr != nil {
+		return fmt.Errorf("manetkit: OLSR still stacked on MPR")
+	}
+	if err := s.mgr.Undeploy(s.mpr.Protocol().Name()); err != nil {
+		return err
+	}
+	s.mpr = nil
+	return nil
+}
+
+// MPRUnit returns the deployed MPR CF, if any.
+func (s *Stack) MPRUnit() *MPR { return s.mpr }
+
+// DeployDYMO installs the reactive composition (Neighbour Detection CF +
+// DYMO CF). If an MPR CF is already deployed (e.g. OLSR is co-deployed),
+// DYMO shares it for optimised flooding instead of a private detector —
+// the paper's leaner co-deployment (§5.2).
+func (s *Stack) DeployDYMO(cfg DYMOConfig) (*DYMO, error) {
+	if s.dymo != nil {
+		return s.dymo, nil
+	}
+	d := dymo.New("", dymo.Config{
+		RouteLifetime: cfg.RouteLifetime,
+		HopLimit:      cfg.HopLimit,
+		Clock:         s.net.Clock(),
+		FIB:           s.sys.FIB(),
+		Device:        s.sys.NIC().Device(),
+	})
+	if s.mpr != nil {
+		d.SetFlooder(s.mpr.Flooder())
+	} else if s.nd == nil {
+		nd := neighbor.New("", neighbor.Config{
+			HelloInterval:     cfg.HelloInterval,
+			LinkLayerFeedback: true,
+		})
+		if err := s.mgr.Deploy(nd.Protocol()); err != nil {
+			return nil, err
+		}
+		if err := nd.Protocol().Start(); err != nil {
+			return nil, err
+		}
+		s.nd = nd
+	}
+	if err := s.mgr.Deploy(d.Protocol()); err != nil {
+		return nil, err
+	}
+	if err := d.Protocol().Start(); err != nil {
+		return nil, err
+	}
+	s.dymo = d
+	return d, nil
+}
+
+// UndeployDYMO removes the DYMO CF and its private Neighbour Detection CF.
+func (s *Stack) UndeployDYMO() error {
+	if s.dymo == nil {
+		return nil
+	}
+	if err := s.mgr.Undeploy(s.dymo.Protocol().Name()); err != nil {
+		return err
+	}
+	s.sys.FIB().FlushProto(s.dymo.Protocol().Name())
+	s.dymo = nil
+	if s.nd != nil {
+		if err := s.mgr.Undeploy(s.nd.Protocol().Name()); err != nil {
+			return err
+		}
+		s.nd = nil
+	}
+	return nil
+}
+
+// AODVConfig parameterises an AODV deployment.
+type AODVConfig struct {
+	HelloInterval   time.Duration // neighbour sensing beacons, default 2s
+	RouteLifetime   time.Duration // default 5s
+	PiggybackRoutes bool          // share routes on HELLO beacons (§4.3)
+}
+
+// DeployAODV installs the on-demand composition (Neighbour Detection CF +
+// AODV CF). AODV and DYMO are alternatives; install the single-reactive
+// integrity rule (RestrictToOneReactive) to have the framework police it.
+func (s *Stack) DeployAODV(cfg AODVConfig) (*AODV, error) {
+	if s.aodv != nil {
+		return s.aodv, nil
+	}
+	if s.nd == nil {
+		nd := neighbor.New("", neighbor.Config{
+			HelloInterval:     cfg.HelloInterval,
+			LinkLayerFeedback: true,
+		})
+		if err := s.mgr.Deploy(nd.Protocol()); err != nil {
+			return nil, err
+		}
+		if err := nd.Protocol().Start(); err != nil {
+			return nil, err
+		}
+		s.nd = nd
+	}
+	a := aodv.New("", s.nd, aodv.Config{
+		RouteLifetime:   cfg.RouteLifetime,
+		PiggybackRoutes: cfg.PiggybackRoutes,
+		Clock:           s.net.Clock(),
+		FIB:             s.sys.FIB(),
+		Device:          s.sys.NIC().Device(),
+	})
+	if err := s.mgr.Deploy(a.Protocol()); err != nil {
+		return nil, err
+	}
+	if err := a.Protocol().Start(); err != nil {
+		return nil, err
+	}
+	s.aodv = a
+	return a, nil
+}
+
+// UndeployAODV removes the AODV CF (the Neighbour Detection CF stays for
+// other users; it goes with UndeployDYMO-style cleanup on Close).
+func (s *Stack) UndeployAODV() error {
+	if s.aodv == nil {
+		return nil
+	}
+	if err := s.mgr.Undeploy(s.aodv.Protocol().Name()); err != nil {
+		return err
+	}
+	s.sys.FIB().FlushProto(s.aodv.Protocol().Name())
+	s.aodv = nil
+	return nil
+}
+
+// AODVUnit returns the deployed AODV CF, if any.
+func (s *Stack) AODVUnit() *AODV { return s.aodv }
+
+// ZRPConfig parameterises a ZRP deployment.
+type ZRPConfig struct {
+	HelloInterval time.Duration // zone sensing beacons, default 2s
+	RouteLifetime time.Duration // interzone route validity, default 5s
+}
+
+// DeployZRP installs the hybrid zone-routing composition (MPR CF + ZRP
+// CF): proactive routing within the radius-2 zone, reactive discovery
+// beyond it, with in-zone nodes answering on out-of-zone targets' behalf.
+func (s *Stack) DeployZRP(cfg ZRPConfig) (*ZRP, error) {
+	if s.zrp != nil {
+		return s.zrp, nil
+	}
+	relay := s.mpr
+	if relay == nil {
+		relay = mpr.New("", mpr.Config{HelloInterval: cfg.HelloInterval})
+		if err := s.mgr.Deploy(relay.Protocol()); err != nil {
+			return nil, err
+		}
+		if err := relay.Protocol().Start(); err != nil {
+			return nil, err
+		}
+		s.mpr = relay
+	}
+	z := zrp.New("", relay, zrp.Config{
+		RouteLifetime: cfg.RouteLifetime,
+		Clock:         s.net.Clock(),
+		FIB:           s.sys.FIB(),
+		Device:        s.sys.NIC().Device(),
+	})
+	if err := s.mgr.Deploy(z.Protocol()); err != nil {
+		return nil, err
+	}
+	if err := z.Protocol().Start(); err != nil {
+		return nil, err
+	}
+	s.zrp = z
+	return z, nil
+}
+
+// UndeployZRP removes the ZRP CF (the shared MPR CF stays).
+func (s *Stack) UndeployZRP() error {
+	if s.zrp == nil {
+		return nil
+	}
+	if err := s.mgr.Undeploy(s.zrp.Protocol().Name()); err != nil {
+		return err
+	}
+	s.sys.FIB().FlushProto(s.zrp.Protocol().Name())
+	s.zrp = nil
+	return nil
+}
+
+// ZRPUnit returns the deployed ZRP CF, if any.
+func (s *Stack) ZRPUnit() *ZRP { return s.zrp }
+
+// RestrictToOneReactive installs the paper's example integrity rule: at
+// most one reactive routing protocol (AODV or DYMO) in this deployment
+// (§4.2).
+func (s *Stack) RestrictToOneReactive() error {
+	return s.mgr.AddRule(aodv.RuleSingleReactive(aodv.UnitName, dymo.UnitName))
+}
+
+// Policy returns the stack's ECA decision-making engine, creating it on
+// first use (§4.5: context monitoring + enactment from MANETKit, decisions
+// from above).
+func (s *Stack) Policy() *PolicyEngine {
+	if s.policy == nil {
+		s.policy = policy.New(s.mgr)
+	}
+	return s.policy
+}
+
+// OLSRUnit returns the deployed OLSR CF, if any.
+func (s *Stack) OLSRUnit() *OLSR { return s.olsr }
+
+// DYMOUnit returns the deployed DYMO CF, if any.
+func (s *Stack) DYMOUnit() *DYMO { return s.dymo }
+
+// EnableFisheye deploys the fisheye interposer into the TC_OUT path
+// (OLSR's scalability variant). Pass nil for the default TTL pattern.
+func (s *Stack) EnableFisheye(pattern []uint8) error {
+	if s.fisheye != nil {
+		return nil
+	}
+	fish := olsr.NewFisheye("", pattern)
+	if err := s.mgr.Deploy(fish); err != nil {
+		return err
+	}
+	if err := fish.Start(); err != nil {
+		return err
+	}
+	s.fisheye = fish
+	return nil
+}
+
+// DisableFisheye removes the interposer; the TC_OUT path heals
+// automatically.
+func (s *Stack) DisableFisheye() error {
+	if s.fisheye == nil {
+		return nil
+	}
+	if err := s.mgr.Undeploy(s.fisheye.Name()); err != nil {
+		return err
+	}
+	s.fisheye = nil
+	return nil
+}
+
+// SendData originates an application data packet; a reactive protocol
+// (DYMO) discovers the route on demand, a proactive one (OLSR) should
+// already have installed it.
+func (s *Stack) SendData(dst Addr, payload []byte) error {
+	return s.sys.Filter().SendData(dst, payload)
+}
+
+// OnDeliver installs the upcall for data packets addressed to this node.
+func (s *Stack) OnDeliver(fn func(src Addr, payload []byte)) {
+	s.sys.Filter().OnDeliver(fn)
+}
+
+// SubscribeContext taps the Framework Manager's context concentrator.
+func (s *Stack) SubscribeContext(pattern EventType, fn func(*Event)) {
+	s.mgr.SubscribeContext(pattern, fn)
+}
+
+// Sniff deploys a passive diagnostic unit that observes every event
+// flowing through this stack (the framework-level packet capture). It
+// returns the unit so it can be undeployed by name.
+func (s *Stack) Sniff(name string, fn func(*Event)) (*Protocol, error) {
+	sniffer := core.NewSniffer(name, fn)
+	if err := s.mgr.Deploy(sniffer); err != nil {
+		return nil, err
+	}
+	return sniffer, nil
+}
+
+// CoordinatedAction is a reconfiguration applied across several stacks
+// with two-phase semantics (see Coordinate).
+type CoordinatedAction struct {
+	// Name identifies the action in errors.
+	Name string
+	// Prepare (optional) checks feasibility on one stack; any veto aborts
+	// the whole action before anything changes.
+	Prepare func(s *Stack) error
+	// Apply enacts the reconfiguration on one stack.
+	Apply func(s *Stack) error
+	// Undo (optional) reverts Apply during rollback.
+	Undo func(s *Stack) error
+}
+
+// Coordinate runs a distributed reconfiguration across the stacks: all
+// prepares first (any veto aborts), then applies in order with reverse
+// rollback on failure — the paper's §7 "coordinated distributed dynamic
+// reconfiguration".
+func Coordinate(stacks []*Stack, act CoordinatedAction) error {
+	members := make([]*coord.Member, len(stacks))
+	byName := make(map[string]*Stack, len(stacks))
+	for i, s := range stacks {
+		name := s.Addr().String()
+		members[i] = &coord.Member{Name: name, Mgr: s.Manager()}
+		byName[name] = s
+	}
+	inner := coord.Action{Name: act.Name}
+	if act.Prepare != nil {
+		inner.Prepare = func(m *coord.Member) error { return act.Prepare(byName[m.Name]) }
+	}
+	inner.Apply = func(m *coord.Member) error { return act.Apply(byName[m.Name]) }
+	if act.Undo != nil {
+		inner.Undo = func(m *coord.Member) error { return act.Undo(byName[m.Name]) }
+	}
+	_, err := coord.Run(members, inner)
+	return err
+}
+
+// Close shuts the node down.
+func (s *Stack) Close() { s.mgr.Close() }
