@@ -6,16 +6,25 @@
 //	mkemu -nodes 5 -topology line -proto dymo -duration 30s -traffic 10
 //	mkemu -nodes 16 -topology grid -proto olsr -fisheye
 //	mkemu -nodes 8 -topology clique -proto both
+//
+// With -chaos it instead runs a scripted fault scenario (partitions,
+// crashes, frame corruption, coordinated reconfiguration) against the
+// chosen composition and checks the protocol invariants afterwards:
+//
+//	mkemu -proto olsr -chaos storm
+//	mkemu -proto aodv -chaos crash -seed 42
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"manetkit"
+	"manetkit/internal/harness"
 )
 
 func main() {
@@ -29,12 +38,41 @@ func main() {
 	mobility := flag.Bool("mobility", false, "mid-run, the last node walks out of range and back")
 	seed := flag.Int64("seed", 1, "emulation seed")
 	loss := flag.Float64("loss", 0, "per-link frame loss probability")
+	chaos := flag.String("chaos", "", "run a fault scenario instead of the traffic workload: "+
+		strings.Join(harness.Scenarios(), ", "))
 	flag.Parse()
 
+	if *chaos != "" {
+		if err := runChaos(*proto, *chaos, *nodes, *seed, *traffic); err != nil {
+			fmt.Fprintf(os.Stderr, "mkemu: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*nodes, *topology, *proto, *duration, *traffic, *fisheye, *multipath, *mobility, *seed, *loss); err != nil {
 		fmt.Fprintf(os.Stderr, "mkemu: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runChaos executes one scripted fault scenario and reports whether the
+// protocol invariants held. Violations exit non-zero.
+func runChaos(proto, scenario string, nodes int, seed int64, traffic int) error {
+	report, err := harness.RunChaos(harness.ChaosConfig{
+		Proto:    proto,
+		Scenario: scenario,
+		Nodes:    nodes,
+		Seed:     seed,
+		Traffic:  traffic,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Summary())
+	if !report.OK() {
+		return fmt.Errorf("%d invariant violations", len(report.Violations)+len(report.SeqViolations))
+	}
+	return nil
 }
 
 func run(nodes int, topology, proto string, duration time.Duration, traffic int,

@@ -778,8 +778,10 @@ func (m *Manager) Quiesce() func() {
 	}
 }
 
-// Close stops pollers, dedicated runners and the worker pool, and waits for
-// in-flight deliveries. The manager is unusable afterwards.
+// Close stops every deployed protocol's sources, then pollers, dedicated
+// runners and the worker pool, and waits for in-flight deliveries. The
+// manager is unusable afterwards: a closed deployment schedules no further
+// timers and emits no further frames.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -790,16 +792,23 @@ func (m *Manager) Close() {
 	pollers := m.pollers
 	m.pollers = nil
 	var dedicated []*dedicatedRunner
+	var protos []*Protocol
 	for _, rec := range m.units {
 		if rec.dedicated != nil {
 			dedicated = append(dedicated, rec.dedicated)
 			rec.dedicated = nil
+		}
+		if p, ok := rec.unit.(*Protocol); ok {
+			protos = append(protos, p)
 		}
 	}
 	workers := m.workers
 	m.workers = nil
 	m.mu.Unlock()
 
+	for _, p := range protos {
+		p.Stop()
+	}
 	for _, p := range pollers {
 		p.Stop()
 	}

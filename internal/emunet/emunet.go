@@ -33,6 +33,11 @@ type Frame struct {
 	Device  string
 	// RSSI is the emulated received signal strength in dBm.
 	RSSI float64
+	// Corrupted marks a frame mangled by fault injection. A real MAC would
+	// discard it on the frame checksum; the emulator delivers it anyway so
+	// decoder robustness is exercised, and diagnostic taps (which model
+	// capture above the MAC) can use this bit to ignore mangled frames.
+	Corrupted bool
 }
 
 // Quality describes one directed link.
@@ -58,6 +63,10 @@ type Stats struct {
 	DroppedNoLink uint64 // unicast sends with no link to the destination
 	TxBytes       uint64
 	RxBytes       uint64
+	// Fault-injection activity (see FaultPlan).
+	Corrupted  uint64 // deliveries whose payload was mangled
+	Duplicated uint64 // extra deliveries injected by duplication
+	Reordered  uint64 // deliveries delayed by reorder jitter
 }
 
 // Errors reported by the emulated medium.
@@ -80,6 +89,7 @@ type Network struct {
 	links map[linkKey]Quality
 	stats Stats
 	tap   func(Frame, mnet.Addr) // (frame, receiver); nil when unset
+	inj   *Injector              // nil until a FaultPlan is applied
 }
 
 // New creates an empty medium on the given clock. seed drives the loss
@@ -114,6 +124,23 @@ func (n *Network) Attach(addr mnet.Addr) (*NIC, error) {
 	}
 	n.nodes[addr] = nic
 	return nic, nil
+}
+
+// Reattach restores a previously detached NIC at its old address — the
+// second half of a crash+restart fault. The NIC keeps its device name; any
+// protocol stack still holding it resumes transmitting, but all links were
+// lost on Detach and must be re-installed by the caller (or a FaultPlan).
+func (n *Network) Reattach(nic *NIC) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[nic.addr]; ok {
+		return fmt.Errorf("%w: %v", ErrAttached, nic.addr)
+	}
+	nic.mu.Lock()
+	nic.detached = false
+	nic.mu.Unlock()
+	n.nodes[nic.addr] = nic
+	return nil
 }
 
 // Detach removes a node and all its links — a node leaving the network.
@@ -285,20 +312,32 @@ func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device stri
 
 	// Copy the payload once; receivers must not alias the sender's buffer.
 	buf := append([]byte(nil), payload...)
-	var due []delivery
+	type pending struct {
+		nic   *NIC
+		frame Frame
+		delay time.Duration
+	}
+	var due []pending
 	for _, d := range targets {
 		if d.q.Loss > 0 && n.rng.Float64() < d.q.Loss {
 			n.stats.DroppedLoss++
 			continue
 		}
-		due = append(due, d)
+		frame := Frame{Src: src, Dst: dst, Payload: buf, Device: device, RSSI: d.q.SignalDBm}
+		delay := d.q.Delay
+		if n.inj != nil {
+			extras := n.inj.injectLocked(n, d.nic.addr, &frame, &delay)
+			for _, e := range extras {
+				due = append(due, pending{d.nic, e.frame, e.delay})
+			}
+		}
+		due = append(due, pending{d.nic, frame, delay})
 	}
 	n.mu.Unlock()
 
 	for _, d := range due {
 		d := d
-		frame := Frame{Src: src, Dst: dst, Payload: buf, Device: device, RSSI: d.q.SignalDBm}
-		n.clock.AfterFunc(d.q.Delay, func() { d.nic.deliver(frame) })
+		n.clock.AfterFunc(d.delay, func() { d.nic.deliver(d.frame) })
 	}
 }
 
@@ -374,6 +413,18 @@ func (c *NIC) SendWithFeedback(dst mnet.Addr, payload []byte, cb func(delivered 
 		n.stats.DroppedLoss++
 		lost = true
 	}
+	var frame Frame
+	delay := q.Delay
+	if linked && attached && !lost {
+		// The frame keeps the sender's buffer unaliased, and corruption
+		// (only — duplication and reordering are suppressed by the 802.11
+		// ACK exchange this path models) may still mangle it in flight.
+		frame = Frame{Src: c.addr, Dst: dst, Payload: append([]byte(nil), payload...),
+			Device: c.device, RSSI: q.SignalDBm}
+		if n.inj != nil {
+			n.inj.corruptOnlyLocked(n, dst, &frame)
+		}
+	}
 	n.mu.Unlock()
 
 	if !linked || !attached || lost {
@@ -381,9 +432,7 @@ func (c *NIC) SendWithFeedback(dst mnet.Addr, payload []byte, cb func(delivered 
 		n.clock.AfterFunc(q.Delay+2*time.Millisecond, func() { cb(false) })
 		return nil
 	}
-	buf := append([]byte(nil), payload...)
-	frame := Frame{Src: c.addr, Dst: dst, Payload: buf, Device: c.device, RSSI: q.SignalDBm}
-	n.clock.AfterFunc(q.Delay, func() {
+	n.clock.AfterFunc(delay, func() {
 		nic.deliver(frame)
 		cb(true)
 	})

@@ -1,0 +1,237 @@
+package emunet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"manetkit/internal/mnet"
+	"manetkit/internal/vclock"
+)
+
+func faultFixture(t *testing.T, nodes int) (*vclock.Virtual, *Network, []mnet.Addr) {
+	t.Helper()
+	clk := vclock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	net := New(clk, 1)
+	addrs := Addrs(nodes)
+	if err := BuildLine(net, addrs, DefaultQuality()); err != nil {
+		t.Fatalf("BuildLine: %v", err)
+	}
+	return clk, net, addrs
+}
+
+func TestPartitionCutsAndHeals(t *testing.T) {
+	clk, net, addrs := faultFixture(t, 4)
+	plan := NewFaultPlan(1).Partition(time.Second, 2*time.Second,
+		addrs[:2], addrs[2:])
+	inj := plan.Apply(net)
+
+	clk.Advance(time.Second)
+	if net.Linked(addrs[1], addrs[2]) || net.Linked(addrs[2], addrs[1]) {
+		t.Fatalf("cross-partition link survived the cut")
+	}
+	if !net.Linked(addrs[0], addrs[1]) || !net.Linked(addrs[2], addrs[3]) {
+		t.Fatalf("intra-partition link was cut")
+	}
+
+	clk.Advance(time.Second)
+	if !net.Linked(addrs[1], addrs[2]) || !net.Linked(addrs[2], addrs[1]) {
+		t.Fatalf("partition did not heal")
+	}
+	if q, ok := net.LinkQuality(addrs[1], addrs[2]); !ok || q != DefaultQuality() {
+		t.Fatalf("healed link lost its quality: %+v ok=%v", q, ok)
+	}
+	if len(inj.Log()) != 2 {
+		t.Fatalf("expected 2 log lines, got %q", inj.Log())
+	}
+}
+
+func TestCrashRestartRestoresNICAndLinks(t *testing.T) {
+	clk, net, addrs := faultFixture(t, 3)
+	mid := addrs[1]
+	nic, _ := net.NIC(mid)
+
+	var crashed, restarted []mnet.Addr
+	plan := NewFaultPlan(1)
+	plan.OnCrash = func(a mnet.Addr) { crashed = append(crashed, a) }
+	plan.OnRestart = func(a mnet.Addr) { restarted = append(restarted, a) }
+	plan.Crash(time.Second, 3*time.Second, mid)
+	plan.Apply(net)
+
+	clk.Advance(time.Second)
+	if _, ok := net.NIC(mid); ok {
+		t.Fatalf("crashed node still attached")
+	}
+	if err := nic.Send(addrs[0], []byte("x")); err != ErrDetached {
+		t.Fatalf("send from crashed node: got %v, want ErrDetached", err)
+	}
+	if len(crashed) != 1 || crashed[0] != mid {
+		t.Fatalf("OnCrash hook: %v", crashed)
+	}
+
+	clk.Advance(2 * time.Second)
+	if _, ok := net.NIC(mid); !ok {
+		t.Fatalf("restarted node not re-attached")
+	}
+	if !net.Linked(mid, addrs[0]) || !net.Linked(mid, addrs[2]) ||
+		!net.Linked(addrs[0], mid) || !net.Linked(addrs[2], mid) {
+		t.Fatalf("restart did not restore links")
+	}
+	if len(restarted) != 1 || restarted[0] != mid {
+		t.Fatalf("OnRestart hook: %v", restarted)
+	}
+	// The same NIC handle works again.
+	if err := nic.Send(addrs[0], []byte("x")); err != nil {
+		t.Fatalf("send after restart: %v", err)
+	}
+}
+
+func TestCrashOfUnknownNodeIsLogged(t *testing.T) {
+	clk, net, _ := faultFixture(t, 2)
+	ghost := mnet.MustParseAddr("10.9.9.9")
+	inj := NewFaultPlan(1).Crash(time.Second, 2*time.Second, ghost).Apply(net)
+	clk.Advance(2 * time.Second)
+	log := inj.Log()
+	if len(log) != 2 {
+		t.Fatalf("log: %q", log)
+	}
+}
+
+func TestCorruptionWindow(t *testing.T) {
+	clk, net, addrs := faultFixture(t, 2)
+	nicA, _ := net.NIC(addrs[0])
+	nicB, _ := net.NIC(addrs[1])
+
+	var clean, corrupted int
+	nicB.SetReceiver(func(f Frame) {
+		if f.Corrupted {
+			corrupted++
+		} else {
+			clean++
+		}
+	})
+	NewFaultPlan(42).CorruptFrames(0, time.Second, 1).Apply(net)
+
+	payload := []byte("hello hello hello")
+	for i := 0; i < 10; i++ {
+		if err := nicA.Send(addrs[1], payload); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	clk.Advance(time.Second)
+	if corrupted != 10 || clean != 0 {
+		t.Fatalf("p=1 corruption: %d corrupted, %d clean", corrupted, clean)
+	}
+	if st := net.Stats(); st.Corrupted != 10 {
+		t.Fatalf("Stats.Corrupted = %d", st.Corrupted)
+	}
+
+	// Window closed: frames flow clean again.
+	for i := 0; i < 5; i++ {
+		_ = nicA.Send(addrs[1], payload)
+	}
+	clk.Advance(time.Second)
+	if clean != 5 {
+		t.Fatalf("after window: %d clean", clean)
+	}
+}
+
+func TestCorruptionNeverMutatesSenderBuffer(t *testing.T) {
+	clk, net, addrs := faultFixture(t, 3)
+	nicA, _ := net.NIC(addrs[0])
+	// A broadcast reaches addrs[1] only (line topology neighbour), but use
+	// two receivers via a clique to check per-receiver copies.
+	if err := BuildClique(net, addrs, DefaultQuality()); err != nil {
+		t.Fatalf("clique: %v", err)
+	}
+	payloads := make(map[mnet.Addr][]byte)
+	for _, a := range addrs[1:] {
+		a := a
+		nic, _ := net.NIC(a)
+		nic.SetReceiver(func(f Frame) { payloads[a] = f.Payload })
+	}
+	NewFaultPlan(7).CorruptFrames(0, time.Second, 1).Apply(net)
+
+	original := []byte("immutable payload bytes")
+	sent := append([]byte(nil), original...)
+	if err := nicA.Send(mnet.Broadcast, sent); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	clk.Advance(100 * time.Millisecond)
+	if !reflect.DeepEqual(sent, original) {
+		t.Fatalf("sender buffer mutated by corruption")
+	}
+	if len(payloads) != 2 {
+		t.Fatalf("got %d receivers", len(payloads))
+	}
+	for a, p := range payloads {
+		if reflect.DeepEqual(p, original) {
+			t.Fatalf("receiver %v got uncorrupted payload under p=1", a)
+		}
+	}
+}
+
+func TestDuplicationWindow(t *testing.T) {
+	clk, net, addrs := faultFixture(t, 2)
+	nicA, _ := net.NIC(addrs[0])
+	nicB, _ := net.NIC(addrs[1])
+	got := 0
+	nicB.SetReceiver(func(f Frame) { got++ })
+	NewFaultPlan(42).DuplicateFrames(0, time.Second, 1).Apply(net)
+
+	for i := 0; i < 4; i++ {
+		_ = nicA.Send(addrs[1], []byte("dup me"))
+	}
+	clk.Advance(time.Second)
+	if got != 8 {
+		t.Fatalf("p=1 duplication: delivered %d, want 8", got)
+	}
+	if st := net.Stats(); st.Duplicated != 4 {
+		t.Fatalf("Stats.Duplicated = %d", st.Duplicated)
+	}
+}
+
+func TestReorderWindowSwapsDeliveries(t *testing.T) {
+	clk, net, addrs := faultFixture(t, 2)
+	nicA, _ := net.NIC(addrs[0])
+	nicB, _ := net.NIC(addrs[1])
+	var order []byte
+	nicB.SetReceiver(func(f Frame) { order = append(order, f.Payload[0]) })
+	// Deterministic swap: delay only the first frame far past the second.
+	NewFaultPlan(3).ReorderFrames(0, time.Second, 1, 50*time.Millisecond).Apply(net)
+
+	_ = nicA.Send(addrs[1], []byte{'a'})
+	clk.Advance(time.Millisecond) // second send 1ms later
+	inj := net.Stats().Reordered
+	if inj == 0 {
+		t.Fatalf("first frame was not jittered")
+	}
+	// Close the window so the chaser flies straight.
+	clk.Advance(time.Second)
+	_ = nicA.Send(addrs[1], []byte{'b'})
+	clk.Advance(time.Second)
+
+	if len(order) != 2 {
+		t.Fatalf("delivered %d frames", len(order))
+	}
+	if st := net.Stats(); st.Reordered != 1 {
+		t.Fatalf("Stats.Reordered = %d", st.Reordered)
+	}
+}
+
+func TestReattachRejectsOccupiedAddress(t *testing.T) {
+	_, net, addrs := faultFixture(t, 2)
+	nic, _ := net.NIC(addrs[0])
+	if err := net.Reattach(nic); err == nil {
+		t.Fatalf("Reattach on attached address should fail")
+	}
+	if err := net.Detach(addrs[0]); err != nil {
+		t.Fatalf("Detach: %v", err)
+	}
+	if err := net.Reattach(nic); err != nil {
+		t.Fatalf("Reattach: %v", err)
+	}
+	if err := nic.Send(addrs[1], []byte("x")); err != nil {
+		t.Fatalf("send after reattach: %v", err)
+	}
+}

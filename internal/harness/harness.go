@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"manetkit/internal/aodv"
 	"manetkit/internal/core"
 	"manetkit/internal/dymo"
 	"manetkit/internal/emunet"
@@ -20,6 +21,7 @@ import (
 	"manetkit/internal/olsr"
 	"manetkit/internal/testbed"
 	"manetkit/internal/vclock"
+	"manetkit/internal/zrp"
 )
 
 // Protocol intervals used across all experiments — identical for the
@@ -84,6 +86,61 @@ func DeployDYMO(c *testbed.Cluster, node *testbed.Node) (*DYMONode, error) {
 		}
 	}
 	return &DYMONode{Node: node, ND: nd, DYMO: d}, nil
+}
+
+// AODVNode is one node of the MANETKit AODV composition.
+type AODVNode struct {
+	Node *testbed.Node
+	ND   *neighbor.Detector
+	AODV *aodv.AODV
+}
+
+// DeployAODV installs the on-demand composition (Neighbour Detection +
+// AODV) on a testbed node.
+func DeployAODV(c *testbed.Cluster, node *testbed.Node) (*AODVNode, error) {
+	nd := neighbor.New("", neighbor.Config{HelloInterval: HelloInterval, LinkLayerFeedback: true})
+	a := aodv.New("", nd, aodv.Config{
+		RouteLifetime: RouteLifetime,
+		Clock:         c.Clock,
+		FIB:           node.FIB(),
+		Device:        node.Sys.NIC().Device(),
+	})
+	for _, u := range []*core.Protocol{nd.Protocol(), a.Protocol()} {
+		if err := node.Mgr.Deploy(u); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		if err := u.Start(); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+	}
+	return &AODVNode{Node: node, ND: nd, AODV: a}, nil
+}
+
+// ZRPNode is one node of the MANETKit zone-routing composition.
+type ZRPNode struct {
+	Node *testbed.Node
+	MPR  *mpr.MPR
+	ZRP  *zrp.ZRP
+}
+
+// DeployZRP installs the hybrid composition (MPR + ZRP) on a testbed node.
+func DeployZRP(c *testbed.Cluster, node *testbed.Node) (*ZRPNode, error) {
+	relay := mpr.New("", mpr.Config{HelloInterval: HelloInterval})
+	z := zrp.New("", relay, zrp.Config{
+		RouteLifetime: RouteLifetime,
+		Clock:         c.Clock,
+		FIB:           node.FIB(),
+		Device:        node.Sys.NIC().Device(),
+	})
+	for _, u := range []*core.Protocol{relay.Protocol(), z.Protocol()} {
+		if err := node.Mgr.Deploy(u); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		if err := u.Start(); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+	}
+	return &ZRPNode{Node: node, MPR: relay, ZRP: z}, nil
 }
 
 // OLSRCluster deploys the MANETKit OLSR composition on every node of a

@@ -1,0 +1,281 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"manetkit/internal/emunet"
+	"manetkit/internal/mnet"
+	"manetkit/internal/neighbor"
+	"manetkit/internal/packetbb"
+	"manetkit/internal/route"
+)
+
+var (
+	a1 = mnet.MustParseAddr("10.0.0.1")
+	a2 = mnet.MustParseAddr("10.0.0.2")
+	a3 = mnet.MustParseAddr("10.0.0.3")
+)
+
+// fakeTopo is a hand-built link graph.
+type fakeTopo map[[2]mnet.Addr]bool
+
+func (t fakeTopo) Linked(from, to mnet.Addr) bool { return t[[2]mnet.Addr{from, to}] }
+
+func (t fakeTopo) Nodes() []mnet.Addr {
+	seen := map[mnet.Addr]bool{}
+	var out []mnet.Addr
+	for k := range t {
+		for _, a := range k {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+func link(pairs ...[2]mnet.Addr) fakeTopo {
+	t := fakeTopo{}
+	for _, p := range pairs {
+		t[p] = true
+		t[[2]mnet.Addr{p[1], p[0]}] = true
+	}
+	return t
+}
+
+func hostRoute(dst, via mnet.Addr) route.FIBRoute {
+	return route.FIBRoute{Dst: mnet.HostPrefix(dst), NextHop: via, Metric: 1, Proto: "test"}
+}
+
+func ribEntry(dst, via mnet.Addr) route.Entry {
+	return route.Entry{
+		Dst:   mnet.HostPrefix(dst),
+		Paths: []route.Path{{NextHop: via, Metric: 1}},
+		Valid: true,
+		Proto: "test",
+	}
+}
+
+func TestNoLoopsDetectsCycle(t *testing.T) {
+	// a1 routes to a3 via a2; a2 routes back via a1: classic two-node loop.
+	snap := &Snapshot{
+		Topo: link([2]mnet.Addr{a1, a2}, [2]mnet.Addr{a2, a3}),
+		Nodes: []NodeState{
+			{Addr: a1, FIB: []route.FIBRoute{hostRoute(a3, a2)}},
+			{Addr: a2, FIB: []route.FIBRoute{hostRoute(a3, a1)}},
+			{Addr: a3},
+		},
+	}
+	v := NoLoops{}.Check(snap)
+	if len(v) == 0 {
+		t.Fatalf("loop not detected")
+	}
+	if !strings.Contains(v[0].Detail, "routing loop") {
+		t.Fatalf("unexpected detail: %s", v[0].Detail)
+	}
+}
+
+func TestNoLoopsAcceptsChain(t *testing.T) {
+	snap := &Snapshot{
+		Topo: link([2]mnet.Addr{a1, a2}, [2]mnet.Addr{a2, a3}),
+		Nodes: []NodeState{
+			{Addr: a1, FIB: []route.FIBRoute{hostRoute(a3, a2), hostRoute(a2, a2)}},
+			{Addr: a2, FIB: []route.FIBRoute{hostRoute(a3, a3), hostRoute(a1, a1)}},
+			{Addr: a3, FIB: []route.FIBRoute{hostRoute(a1, a2)}},
+		},
+	}
+	if v := (NoLoops{}).Check(snap); len(v) != 0 {
+		t.Fatalf("false loop: %v", v)
+	}
+}
+
+func TestRouteLivenessFlagsDeadNextHop(t *testing.T) {
+	snap := &Snapshot{
+		Now:  time.Unix(0, 0),
+		Topo: link([2]mnet.Addr{a2, a3}), // a1-a2 link is down
+		Nodes: []NodeState{
+			{Addr: a1, RIBs: []RIB{{Proto: "test", Entries: []route.Entry{ribEntry(a3, a2)}}}},
+			{Addr: a2},
+			{Addr: a3},
+		},
+	}
+	v := RouteLiveness{}.Check(snap)
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "link to 10.0.0.2 is down") {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestRouteLivenessFlagsUnreachableDestination(t *testing.T) {
+	snap := &Snapshot{
+		Now:  time.Unix(0, 0),
+		Topo: link([2]mnet.Addr{a1, a2}), // a3 is islanded
+		Nodes: []NodeState{
+			{Addr: a1, RIBs: []RIB{{Proto: "test", Entries: []route.Entry{ribEntry(a3, a2)}}}},
+			{Addr: a2},
+			{Addr: a3},
+		},
+	}
+	v := RouteLiveness{}.Check(snap)
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "unreachable") {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestRouteLivenessSkipsExpiredAndInvalid(t *testing.T) {
+	now := time.Unix(1000, 0)
+	expired := ribEntry(a3, a2)
+	expired.Paths[0].Expires = now.Add(-time.Second)
+	invalid := ribEntry(a2, a2)
+	invalid.Valid = false
+	snap := &Snapshot{
+		Now:  now,
+		Topo: fakeTopo{},
+		Nodes: []NodeState{
+			{Addr: a1, RIBs: []RIB{{Proto: "test", Entries: []route.Entry{expired, invalid}}}},
+			{Addr: a2},
+			{Addr: a3},
+		},
+	}
+	if v := (RouteLiveness{}).Check(snap); len(v) != 0 {
+		t.Fatalf("stale routes flagged: %v", v)
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	sym := func(addr mnet.Addr) neighbor.Info {
+		return neighbor.Info{Addr: addr, Status: neighbor.StatusSymmetric}
+	}
+	snap := &Snapshot{
+		Topo: link([2]mnet.Addr{a1, a2}),
+		Nodes: []NodeState{
+			// a1 thinks both a2 (fine) and a3 (link down) are symmetric.
+			{Addr: a1, Neighbors: []neighbor.Info{sym(a2), sym(a3)}},
+			// a2 reciprocates a1.
+			{Addr: a2, Neighbors: []neighbor.Info{sym(a1)}},
+			{Addr: a3, Neighbors: []neighbor.Info{}},
+		},
+	}
+	v := NeighborSymmetry{}.Check(snap)
+	if len(v) != 1 || v[0].Node != a1 || !strings.Contains(v[0].Detail, "10.0.0.3") {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestNeighborSymmetryFlagsUnrequitedBelief(t *testing.T) {
+	snap := &Snapshot{
+		Topo: link([2]mnet.Addr{a1, a2}),
+		Nodes: []NodeState{
+			{Addr: a1, Neighbors: []neighbor.Info{{Addr: a2, Status: neighbor.StatusSymmetric}}},
+			// a2 has marked a1 lost even though the medium link is up.
+			{Addr: a2, Neighbors: []neighbor.Info{{Addr: a1, Status: neighbor.StatusLost}}},
+		},
+	}
+	v := NeighborSymmetry{}.Check(snap)
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "does not hear it back") {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestSuiteRunsAllCheckersSorted(t *testing.T) {
+	s := DefaultSuite()
+	if got := s.Checkers(); len(got) != 3 {
+		t.Fatalf("default suite: %v", got)
+	}
+	snap := &Snapshot{Topo: fakeTopo{}, Nodes: nil}
+	if v := s.Run(snap); len(v) != 0 {
+		t.Fatalf("empty snapshot produced %v", v)
+	}
+}
+
+// controlFrame builds a first-hop control frame carrying one message.
+func controlFrame(orig mnet.Addr, typ packetbb.MsgType, seq uint16, origSeq *uint16) emunet.Frame {
+	msg := packetbb.Message{
+		Type:       typ,
+		Originator: orig,
+		SeqNum:     seq,
+	}
+	if origSeq != nil {
+		msg.AddrBlocks = []packetbb.AddrBlock{{
+			Addrs: []mnet.Addr{orig},
+			TLVs: []packetbb.AddrTLV{{
+				Type: packetbb.ATLVOrigSeq, IndexStart: 0, IndexStop: 0,
+				Value: packetbb.U16(*origSeq),
+			}},
+		}}
+	}
+	wire, err := packetbb.EncodePacket(&packetbb.Packet{Messages: []packetbb.Message{msg}})
+	if err != nil {
+		panic(err)
+	}
+	return emunet.Frame{Src: orig, Dst: mnet.Broadcast, Payload: append([]byte{0x01}, wire...)}
+}
+
+func TestSeqWatcherFlagsRegression(t *testing.T) {
+	w := NewSeqWatcher()
+	w.Observe(controlFrame(a1, packetbb.MsgHello, 100, nil), a2)
+	w.Observe(controlFrame(a1, packetbb.MsgHello, 101, nil), a2)
+	// Way back beyond the tolerance: violation.
+	w.Observe(controlFrame(a1, packetbb.MsgHello, 10, nil), a2)
+	v := w.Violations()
+	if len(v) != 1 || v[0].Node != a1 {
+		t.Fatalf("got %v", v)
+	}
+	if w.Frames() != 3 {
+		t.Fatalf("frames = %d", w.Frames())
+	}
+}
+
+func TestSeqWatcherToleratesReorderDuplicatesAndWraparound(t *testing.T) {
+	w := NewSeqWatcher()
+	w.Observe(controlFrame(a1, packetbb.MsgHello, 100, nil), a2)
+	w.Observe(controlFrame(a1, packetbb.MsgHello, 99, nil), a2)  // adjacent swap
+	w.Observe(controlFrame(a1, packetbb.MsgHello, 100, nil), a2) // duplicate
+	// Wraparound: 0xfffe then 3.
+	w.Observe(controlFrame(a2, packetbb.MsgTC, 0xfffe, nil), a1)
+	w.Observe(controlFrame(a2, packetbb.MsgTC, 3, nil), a1)
+	if v := w.Violations(); len(v) != 0 {
+		t.Fatalf("false positives: %v", v)
+	}
+}
+
+func TestSeqWatcherTracksOrigSeqAndForget(t *testing.T) {
+	w := NewSeqWatcher()
+	s1, s2 := uint16(50), uint16(5)
+	w.Observe(controlFrame(a1, packetbb.MsgRREQ, 1, &s1), a2)
+	w.Observe(controlFrame(a1, packetbb.MsgRREQ, 2, &s2), a2)
+	if v := w.Violations(); len(v) != 1 || !strings.Contains(v[0].Detail, "originator seq") {
+		t.Fatalf("got %v", v)
+	}
+
+	// After a legitimate reboot the same regression is forgiven.
+	w2 := NewSeqWatcher()
+	w2.Observe(controlFrame(a1, packetbb.MsgRREQ, 1, &s1), a2)
+	w2.Forget(a1)
+	w2.Observe(controlFrame(a1, packetbb.MsgRREQ, 2, &s2), a2)
+	if v := w2.Violations(); len(v) != 0 {
+		t.Fatalf("Forget did not reset: %v", v)
+	}
+}
+
+func TestSeqWatcherIgnoresCorruptedAndForwardedFrames(t *testing.T) {
+	w := NewSeqWatcher()
+	w.Observe(controlFrame(a1, packetbb.MsgHello, 100, nil), a2)
+	// A corrupted frame carrying a regressed number is skipped on the
+	// FCS marker.
+	bad := controlFrame(a1, packetbb.MsgHello, 1, nil)
+	bad.Corrupted = true
+	w.Observe(bad, a2)
+	// A forwarded copy (frame source != originator) is skipped too.
+	fwd := controlFrame(a1, packetbb.MsgHello, 1, nil)
+	fwd.Src = a3
+	w.Observe(fwd, a2)
+	// Garbage does not panic the watcher.
+	w.Observe(emunet.Frame{Src: a1, Payload: []byte{0x01, 0xde, 0xad}}, a2)
+	w.Observe(emunet.Frame{Src: a1, Payload: nil}, a2)
+	if v := w.Violations(); len(v) != 0 {
+		t.Fatalf("got %v", v)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"manetkit/internal/dymo"
 	"manetkit/internal/emunet"
 	"manetkit/internal/event"
+	"manetkit/internal/invariant"
 	"manetkit/internal/mnet"
 	"manetkit/internal/mpr"
 	"manetkit/internal/neighbor"
@@ -94,7 +95,29 @@ type (
 	PolicyRule = policy.Rule
 	// PolicyMetrics are the rolling aggregates rules condition on.
 	PolicyMetrics = policy.Metrics
+	// FaultPlan is a seeded, scripted fault schedule for the emulated
+	// medium: partitions, crashes, corruption, duplication, reordering.
+	FaultPlan = emunet.FaultPlan
+	// Injector applies a FaultPlan; it exposes the deterministic fault log.
+	Injector = emunet.Injector
+	// Violation is one protocol-invariant breach.
+	Violation = invariant.Violation
+	// InvariantSuite is a pluggable set of snapshot invariant checkers.
+	InvariantSuite = invariant.Suite
+	// SeqWatcher is the live monotonic-sequence-number invariant.
+	SeqWatcher = invariant.SeqWatcher
 )
+
+// NewFaultPlan starts an empty seeded fault schedule.
+func NewFaultPlan(seed int64) *FaultPlan { return emunet.NewFaultPlan(seed) }
+
+// NewSeqWatcher builds the live sequence-number checker; install it with
+// Network.SetTap(w.Observe).
+func NewSeqWatcher() *SeqWatcher { return invariant.NewSeqWatcher() }
+
+// DefaultInvariants returns the standard protocol invariants: no routing
+// loops, route liveness, neighbour-table symmetry.
+func DefaultInvariants() *InvariantSuite { return invariant.DefaultSuite() }
 
 // Concurrency models (§4.4 of the paper).
 const (
