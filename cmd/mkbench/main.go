@@ -7,6 +7,14 @@
 //	mkbench -ablation variants # fisheye + power-aware (§5.1)
 //	mkbench -ablation dymo     # optimised flooding + multipath (§5.2)
 //	mkbench -all
+//
+// With -json the measurements are also written as a machine-readable
+// report, and -check compares that report against a committed baseline,
+// failing (exit 1) when any deterministic value drifts outside the
+// tolerance band:
+//
+//	mkbench -all -json bench.json
+//	mkbench -ablation dymo -check cmd/mkbench/testdata/baseline.json
 package main
 
 import (
@@ -24,22 +32,26 @@ func main() {
 	ablation := flag.String("ablation", "", "ablation to run: concurrency, variants, dymo, hybrid")
 	all := flag.Bool("all", false, "run everything")
 	iters := flag.Int("iters", 2000, "iterations for per-message timing")
+	jsonOut := flag.String("json", "", "also write the measurements to this file as JSON")
+	check := flag.String("check", "", "compare this run against a baseline JSON report")
+	tolerance := flag.Float64("tolerance", 0.01, "fractional tolerance band for -check")
 	flag.Parse()
 
 	if !*all && *table == 0 && *ablation == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	run := func(name string, fn func() error) {
+	report := &BenchReport{Schema: benchSchema}
+	run := func(name string, fn func(*BenchReport) error) {
 		fmt.Printf("== %s ==\n", name)
-		if err := fn(); err != nil {
+		if err := fn(report); err != nil {
 			fmt.Fprintf(os.Stderr, "mkbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
 	if *all || *table == 1 {
-		run("Table 1", func() error { return table1(*iters) })
+		run("Table 1", func(r *BenchReport) error { return table1(r, *iters) })
 	}
 	if *all || *table == 2 {
 		run("Table 2", table2)
@@ -56,9 +68,39 @@ func main() {
 	if *all || *ablation == "hybrid" {
 		run("Hybridisation (§7 extension)", hybrid)
 	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err == nil {
+			err = report.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d experiments to %s\n", len(report.Results), *jsonOut)
+	}
+	if *check != "" {
+		baseline, err := loadBaseline(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkbench: %v\n", err)
+			os.Exit(1)
+		}
+		regressions := Compare(baseline, report, *tolerance)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
+		}
+		if len(regressions) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("baseline check passed (%s, tolerance %.1f%%)\n", *check, 100**tolerance)
+	}
 }
 
-func hybrid() error {
+func hybrid(rep *BenchReport) error {
 	r, err := harness.MeasureHybrid(7)
 	if err != nil {
 		return err
@@ -69,40 +111,72 @@ func hybrid() error {
 		r.ReactiveDelay.Round(time.Millisecond), r.HybridDelay.Round(time.Millisecond))
 	fmt.Printf("  zone answers=%d; in-zone send triggered %d discoveries (zone is proactive)\n",
 		r.ZoneAnswers, r.NearDiscoveries)
+	rep.add("hybrid", map[string]BenchValue{
+		"reactive_forwards": det(float64(r.ReactiveForwards), "frames"),
+		"hybrid_forwards":   det(float64(r.HybridForwards), "frames"),
+		"reactive_delay":    det(ms(r.ReactiveDelay), "ms"),
+		"hybrid_delay":      det(ms(r.HybridDelay), "ms"),
+		"zone_answers":      det(float64(r.ZoneAnswers), "replies"),
+		"near_discoveries":  det(float64(r.NearDiscoveries), "discoveries"),
+	})
 	return nil
 }
 
-func table1(iters int) error {
+func table1(rep *BenchReport, iters int) error {
 	t, err := harness.MeasureTable1(iters)
 	if err != nil {
 		return err
 	}
 	t.Print()
+	// Message-processing times are wall clock; route establishment runs
+	// on the virtual clock and is deterministic.
+	rep.add("table1", map[string]BenchValue{
+		"proc_olsr_mono":  wall(ms(t.ProcOLSRMono), "ms"),
+		"proc_olsr_kit":   wall(ms(t.ProcOLSRKit), "ms"),
+		"proc_dymo_mono":  wall(ms(t.ProcDYMOMono), "ms"),
+		"proc_dymo_kit":   wall(ms(t.ProcDYMOKit), "ms"),
+		"route_olsr_mono": det(ms(t.RouteOLSRMono), "ms"),
+		"route_olsr_kit":  det(ms(t.RouteOLSRKit), "ms"),
+		"route_dymo_mono": det(ms(t.RouteDYMOMono), "ms"),
+		"route_dymo_kit":  det(ms(t.RouteDYMOKit), "ms"),
+	})
 	return nil
 }
 
-func table2() error {
+func table2(rep *BenchReport) error {
 	t, err := harness.MeasureTable2()
 	if err != nil {
 		return err
 	}
 	t.Print()
+	rep.add("table2", map[string]BenchValue{
+		"mono_olsr":       wall(t.MonoOLSR, "KB"),
+		"kit_olsr":        wall(t.KitOLSR, "KB"),
+		"mono_dymo":       wall(t.MonoDYMO, "KB"),
+		"kit_dymo":        wall(t.KitDYMO, "KB"),
+		"mono_both":       wall(t.MonoBoth, "KB"),
+		"kit_both":        wall(t.KitBoth, "KB"),
+		"kit_both_sealed": wall(t.KitBothSealed, "KB"),
+	})
 	return nil
 }
 
-func concurrency() error {
+func concurrency(rep *BenchReport) error {
 	fmt.Printf("%-26s %14s %12s\n", "model", "events/sec", "elapsed")
+	values := map[string]BenchValue{}
 	for _, m := range []core.Model{core.SingleThreaded, core.PerMessage, core.PerN} {
 		r, err := harness.MeasureConcurrency(m, 4, 20000, 3000)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%-26s %14.0f %12s\n", r.Model, r.PerSecond, r.Elapsed.Round(time.Millisecond))
+		values["events_per_sec_"+r.Model.String()] = wall(r.PerSecond, "events/s")
 	}
+	rep.add("concurrency", values)
 	return nil
 }
 
-func variants() error {
+func variants(rep *BenchReport) error {
 	fish, err := harness.MeasureFisheye(16, 4, 60*time.Second)
 	if err != nil {
 		return err
@@ -116,10 +190,16 @@ func variants() error {
 	}
 	fmt.Printf("power-aware: drained relay selected as MPR: base=%v power-aware=%v\n",
 		pw.DrainedSelectedBase, pw.DrainedSelectedPower)
+	rep.add("variants", map[string]BenchValue{
+		"fisheye_baseline_tc_tx":       det(float64(fish.BaselineTCTx), "frames"),
+		"fisheye_tc_tx":                det(float64(fish.FisheyeTCTx), "frames"),
+		"power_drained_selected_base":  det(b2f(pw.DrainedSelectedBase), "bool"),
+		"power_drained_selected_power": det(b2f(pw.DrainedSelectedPower), "bool"),
+	})
 	return nil
 }
 
-func dymoVariants() error {
+func dymoVariants(rep *BenchReport) error {
 	fl, err := harness.MeasureDYMOFlooding(8)
 	if err != nil {
 		return err
@@ -133,5 +213,12 @@ func dymoVariants() error {
 	}
 	fmt.Printf("multipath: route discoveries across diamond link failure: base=%d multipath=%d\n",
 		mp.BaseDiscoveries, mp.MultipathDiscoveries)
+	rep.add("dymo", map[string]BenchValue{
+		"blind_forwards":        det(float64(fl.BlindForwards), "frames"),
+		"gossip_forwards":       det(float64(fl.GossipForwards), "frames"),
+		"mpr_forwards":          det(float64(fl.OptimisedForwards), "frames"),
+		"base_discoveries":      det(float64(mp.BaseDiscoveries), "discoveries"),
+		"multipath_discoveries": det(float64(mp.MultipathDiscoveries), "discoveries"),
+	})
 	return nil
 }

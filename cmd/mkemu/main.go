@@ -13,11 +13,23 @@
 //
 //	mkemu -proto olsr -chaos storm
 //	mkemu -proto aodv -chaos crash -seed 42
+//
+// Observability: -metrics prints the cluster-wide counter/histogram
+// snapshot after the run, -trace writes the structured event trace as
+// JSONL (byte-identical for the same seed), and -http serves /debug/vars
+// (expvar, including the live metric registry) plus /debug/pprof while the
+// emulation runs:
+//
+//	mkemu -proto dymo -metrics -trace trace.jsonl
+//	mkemu -proto olsr -duration 5m -http localhost:6060
 package main
 
 import (
+	_ "expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"sync"
@@ -26,6 +38,9 @@ import (
 	"manetkit"
 	"manetkit/internal/harness"
 )
+
+// epoch anchors the virtual clock and the trace timestamps.
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 
 func main() {
 	nodes := flag.Int("nodes", 5, "number of nodes")
@@ -38,37 +53,77 @@ func main() {
 	mobility := flag.Bool("mobility", false, "mid-run, the last node walks out of range and back")
 	seed := flag.Int64("seed", 1, "emulation seed")
 	loss := flag.Float64("loss", 0, "per-link frame loss probability")
+	showMetrics := flag.Bool("metrics", false, "print the metric snapshot after the run")
+	traceOut := flag.String("trace", "", "write the structured event trace to this JSONL file")
+	httpAddr := flag.String("http", "", "serve /debug/vars and /debug/pprof on this address during the run")
 	chaos := flag.String("chaos", "", "run a fault scenario instead of the traffic workload: "+
 		strings.Join(harness.Scenarios(), ", "))
 	flag.Parse()
 
-	if *chaos != "" {
-		if err := runChaos(*proto, *chaos, *nodes, *seed, *traffic); err != nil {
-			fmt.Fprintf(os.Stderr, "mkemu: %v\n", err)
-			os.Exit(1)
-		}
-		return
+	var tracer *manetkit.Tracer
+	if *traceOut != "" {
+		tracer = manetkit.NewTracer(epoch, 0)
 	}
-	if err := run(*nodes, *topology, *proto, *duration, *traffic, *fisheye, *multipath, *mobility, *seed, *loss); err != nil {
+	if *httpAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "mkemu: http: %v\n", err)
+			}
+		}()
+	}
+
+	var err error
+	if *chaos != "" {
+		err = runChaos(*proto, *chaos, *nodes, *seed, *traffic, *showMetrics, tracer)
+	} else {
+		err = run(*nodes, *topology, *proto, *duration, *traffic,
+			*fisheye, *multipath, *mobility, *seed, *loss, *showMetrics, *httpAddr != "", tracer)
+	}
+	if err == nil && tracer != nil {
+		err = writeTrace(tracer, *traceOut)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "mkemu: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// writeTrace dumps the recorded spans as JSONL and prints the trace
+// fingerprint (stable across runs with the same seed).
+func writeTrace(tracer *manetkit.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace:   %d spans -> %s (fingerprint %s, %d evicted)\n",
+		tracer.Len(), path, tracer.Fingerprint(), tracer.Dropped())
+	return nil
+}
+
 // runChaos executes one scripted fault scenario and reports whether the
 // protocol invariants held. Violations exit non-zero.
-func runChaos(proto, scenario string, nodes int, seed int64, traffic int) error {
+func runChaos(proto, scenario string, nodes int, seed int64, traffic int,
+	showMetrics bool, tracer *manetkit.Tracer) error {
 	report, err := harness.RunChaos(harness.ChaosConfig{
 		Proto:    proto,
 		Scenario: scenario,
 		Nodes:    nodes,
 		Seed:     seed,
 		Traffic:  traffic,
+		Tracer:   tracer,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Print(report.Summary())
+	_ = showMetrics // chaos summaries always include the metric snapshot
 	if !report.OK() {
 		return fmt.Errorf("%d invariant violations", len(report.Violations)+len(report.SeqViolations))
 	}
@@ -76,14 +131,26 @@ func runChaos(proto, scenario string, nodes int, seed int64, traffic int) error 
 }
 
 func run(nodes int, topology, proto string, duration time.Duration, traffic int,
-	fisheye, multipath, mobility bool, seed int64, loss float64) error {
+	fisheye, multipath, mobility bool, seed int64, loss float64,
+	showMetrics, serveHTTP bool, tracer *manetkit.Tracer) error {
 	if nodes < 2 {
 		return fmt.Errorf("need at least 2 nodes")
 	}
-	clk := manetkit.NewVirtualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	clk := manetkit.NewVirtualClock(epoch)
 	net := manetkit.NewNetwork(clk, seed)
+	var reg *manetkit.MetricsRegistry
+	if showMetrics || serveHTTP {
+		reg = manetkit.NewMetricsRegistry()
+		net.SetMetrics(reg)
+		if serveHTTP {
+			reg.PublishExpvar("manetkit")
+		}
+	}
+	if tracer != nil {
+		net.SetTracer(tracer)
+	}
 	addrs := manetkit.Addrs(nodes)
-	stacks, err := manetkit.NewStacks(net, addrs, manetkit.StackOptions{})
+	stacks, err := manetkit.NewStacks(net, addrs, manetkit.StackOptions{Metrics: reg, Tracer: tracer})
 	if err != nil {
 		return err
 	}
@@ -221,6 +288,12 @@ func run(nodes int, topology, proto string, duration time.Duration, traffic int,
 				z.Routes().ValidCount(), zst.IntrazoneHits, zst.Discoveries, zst.ZoneAnswers)
 		}
 		fmt.Println(line)
+	}
+	if showMetrics && reg != nil {
+		fmt.Println("metrics:")
+		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 	"manetkit/internal/core"
 	"manetkit/internal/event"
 	"manetkit/internal/kernel"
+	"manetkit/internal/metrics"
 	"manetkit/internal/mnet"
 	"manetkit/internal/neighbor"
 	"manetkit/internal/packetbb"
@@ -105,9 +106,10 @@ func (c *Config) fill() {
 
 // pending tracks one discovery with its expanding-ring state.
 type pending struct {
-	tries int
-	ttl   uint8
-	timer vclock.Timer
+	tries   int
+	ttl     uint8
+	timer   vclock.Timer
+	started time.Time // virtual-clock discovery start, for the latency histogram
 }
 
 type dupKey struct {
@@ -214,6 +216,14 @@ type AODV struct {
 	proto *core.Protocol
 	state *State
 	cfg   Config
+
+	// Instruments, resolved from the deployment's registry on Start; nil
+	// (no-op) when the deployment carries no metrics.
+	mDiscoveries  *metrics.Counter
+	mRetries      *metrics.Counter
+	mGiveUps      *metrics.Counter
+	mRREQTx       *metrics.Counter
+	mDiscoveryLat *metrics.Histogram // virtual time: NoRoute -> RouteFound
 }
 
 // New builds an AODV CF. detector (optional) is the Neighbour Detection CF
@@ -263,6 +273,15 @@ func New(name string, detector *neighbor.Detector, cfg Config) *AODV {
 	if err := a.proto.AddSource(core.NewSource("route-sweep", cfg.RouteLifetime/2, 0, a.sweep)); err != nil {
 		panic(err)
 	}
+	a.proto.OnStart(func(ctx *core.Context) error {
+		reg := ctx.Env().Metrics()
+		a.mDiscoveries = reg.Counter("aodv_discoveries")
+		a.mRetries = reg.Counter("aodv_retries")
+		a.mGiveUps = reg.Counter("aodv_giveups")
+		a.mRREQTx = reg.Counter("aodv_rreq_tx")
+		a.mDiscoveryLat = reg.Histogram("aodv_discovery_latency")
+		return nil
+	})
 	a.proto.OnStop(func(ctx *core.Context) error {
 		a.state.mu.Lock()
 		for _, p := range a.state.pending {
@@ -354,13 +373,14 @@ func (a *AODV) onNoRoute(ctx *core.Context, ev *event.Event) error {
 	a.state.mu.Lock()
 	_, already := a.state.pending[dst]
 	if !already {
-		a.state.pending[dst] = &pending{ttl: a.cfg.TTLStart}
+		a.state.pending[dst] = &pending{ttl: a.cfg.TTLStart, started: ctx.Clock().Now()}
 		a.state.stats.Discoveries++
 	}
 	a.state.mu.Unlock()
 	if already {
 		return nil
 	}
+	a.mDiscoveries.Inc()
 	a.sendRREQ(ctx, dst, 1, a.cfg.TTLStart)
 	return nil
 }
@@ -389,6 +409,7 @@ func (a *AODV) sendRREQ(ctx *core.Context, dst mnet.Addr, attempt int, ttl uint8
 	}
 	now := ctx.Clock().Now()
 	a.state.seenDup(dupKey{orig: ctx.Node(), seq: seq}, now)
+	a.mRREQTx.Inc()
 	ctx.Emit(&event.Event{Type: event.REOut, Msg: msg, Dst: mnet.Broadcast})
 
 	timer := ctx.Clock().AfterFunc(a.cfg.RREQWait, func() {
@@ -423,9 +444,11 @@ func (a *AODV) retry(ctx *core.Context, dst mnet.Addr, attempt int) {
 		delete(a.state.pending, dst)
 		a.state.stats.GiveUps++
 		a.state.mu.Unlock()
+		a.mGiveUps.Inc()
 		return
 	}
 	a.state.stats.Retries++
+	a.mRetries.Inc()
 	if expanding {
 		a.state.stats.RingExpansions++
 	}
@@ -474,6 +497,9 @@ func (a *AODV) completeDiscovery(ctx *core.Context, dst mnet.Addr) {
 	}
 	a.state.mu.Unlock()
 	if ok {
+		if !p.started.IsZero() {
+			a.mDiscoveryLat.Observe(ctx.Clock().Now().Sub(p.started))
+		}
 		ctx.Emit(&event.Event{Type: event.RouteFound, Route: &event.RoutePayload{Dst: dst}})
 	}
 }

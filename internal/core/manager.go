@@ -9,9 +9,11 @@ import (
 
 	"manetkit/internal/event"
 	"manetkit/internal/kernel"
+	"manetkit/internal/metrics"
 	"manetkit/internal/mnet"
 	"manetkit/internal/pool"
 	"manetkit/internal/queue"
+	"manetkit/internal/trace"
 	"manetkit/internal/vclock"
 )
 
@@ -62,6 +64,13 @@ type Config struct {
 	PoolSize int
 	// QueueBound bounds each dedicated per-protocol queue (default 1024).
 	QueueBound int
+	// Metrics, when non-nil, collects framework counters and latency
+	// histograms (shared across a whole cluster). Nil disables metrics at
+	// the cost of one nil check per dispatch.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, records structured dispatch spans stamped with
+	// the deployment clock. Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // ManagerStats counts framework activity.
@@ -123,6 +132,11 @@ type Manager struct {
 	qBound   int
 	inflight sync.WaitGroup
 
+	// obs is the instrument bundle; nil when both metrics and tracing are
+	// disabled. Set once at construction, never mutated: hot paths read it
+	// without m.mu.
+	obs *managerObs
+
 	// Single-threaded delivery queue: inline deliveries are drained in
 	// FIFO order by whichever goroutine first enters the framework, so a
 	// handler-emitted event destined for a unit already on the call stack
@@ -174,6 +188,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		bindings: make(map[kernel.BindingInfo]*kernel.Binding),
 		poolSize: cfg.PoolSize,
 		qBound:   cfg.QueueBound,
+		obs:      newManagerObs(cfg.Node, cfg.Metrics, cfg.Tracer),
 	}
 	return m, nil
 }
@@ -243,6 +258,10 @@ func (m *Manager) Deploy(u Unit) error {
 		emit:     m.emit,
 		unit:     m.Unit,
 		retuple:  func(string) { m.Rewire() },
+	}
+	if m.obs != nil {
+		env.metrics = m.obs.reg
+		env.tracer = m.obs.tracer
 	}
 	u.Attach(env)
 
@@ -321,6 +340,12 @@ func (m *Manager) EnableDedicatedThread(name string) error {
 		return nil
 	}
 	rec.dedicated = newDedicatedRunner(m, rec.unit, m.qBound)
+	if m.obs != nil && m.obs.reg != nil {
+		rec.dedicated.q.Instrument(
+			m.obs.reg.Gauge("core_dedicated_depth:"+name),
+			m.obs.reg.Counter("core_dedicated_dropped:"+name),
+		)
+	}
 	return nil
 }
 
@@ -354,6 +379,13 @@ func (m *Manager) Rewire() {
 
 func (m *Manager) rewireLocked() {
 	m.stats.Rewires++
+	var rewireStart time.Time
+	if m.obs != nil {
+		m.obs.rewires.Inc()
+		if m.obs.rewireLat != nil {
+			rewireStart = time.Now()
+		}
+	}
 	chains := make(map[event.Type]*chain)
 
 	// Collect the concrete provided types.
@@ -392,6 +424,16 @@ func (m *Manager) rewireLocked() {
 	}
 	m.chains = chains
 	m.syncBindingsLocked()
+	if m.obs != nil {
+		if m.obs.rewireLat != nil {
+			m.obs.rewireLat.Observe(time.Since(rewireStart))
+		}
+		if m.obs.tracer != nil {
+			m.obs.tracer.Record(m.clk.Now(), trace.Span{
+				Node: m.obs.nodeStr, Kind: trace.KindRebind, QDepth: len(m.chains),
+			})
+		}
+	}
 }
 
 // syncBindingsLocked mirrors the derived chains into kernel bindings on the
@@ -474,12 +516,30 @@ func (m *Manager) syncBindingsLocked() {
 // emit routes ev from the named unit: through the remaining interposers for
 // its type, then to the terminals (broadcast or exclusive).
 func (m *Manager) emit(from string, ev *event.Event) {
+	if m.obs != nil {
+		m.obs.emitted.Inc()
+		if m.obs.tracer != nil {
+			m.obs.tracer.Record(m.clk.Now(), trace.Span{
+				Node: m.obs.nodeStr, Kind: trace.KindEmit,
+				Event: string(ev.Type), From: from,
+			})
+		}
+	}
 	m.mu.Lock()
 	m.stats.Emitted++
 	ch, ok := m.chains[ev.Type]
 	if !ok {
 		m.stats.Dropped++
 		m.mu.Unlock()
+		if m.obs != nil {
+			m.obs.dropped.Inc()
+			if m.obs.tracer != nil {
+				m.obs.tracer.Record(m.clk.Now(), trace.Span{
+					Node: m.obs.nodeStr, Kind: trace.KindDrop,
+					Event: string(ev.Type), From: from,
+				})
+			}
+		}
 		m.dispatchContextEvent(ev)
 		return
 	}
@@ -496,7 +556,7 @@ func (m *Manager) emit(from string, ev *event.Event) {
 		model := m.model
 		m.mu.Unlock()
 		if rec != nil {
-			m.deliverBatch([]*unitRec{rec}, ev, model)
+			m.deliverBatch(from, []*unitRec{rec}, ev, model)
 		}
 		m.dispatchContextEvent(ev)
 		return
@@ -528,11 +588,20 @@ func (m *Manager) emit(from string, ev *event.Event) {
 	}
 	if len(targets) == 0 {
 		m.stats.Dropped++
+		if m.obs != nil {
+			m.obs.dropped.Inc()
+			if m.obs.tracer != nil {
+				m.obs.tracer.Record(m.clk.Now(), trace.Span{
+					Node: m.obs.nodeStr, Kind: trace.KindDrop,
+					Event: string(ev.Type), From: from,
+				})
+			}
+		}
 	}
 	model := m.model
 	m.mu.Unlock()
 
-	m.deliverBatch(targets, ev, model)
+	m.deliverBatch(from, targets, ev, model)
 	m.dispatchContextEvent(ev)
 }
 
@@ -540,23 +609,42 @@ func (m *Manager) emit(from string, ev *event.Event) {
 // All targets are enqueued/ticketed before any processing starts, so the
 // per-unit FIFO order is the emission order even when handlers emit
 // further events mid-delivery.
-func (m *Manager) deliverBatch(targets []*unitRec, ev *event.Event, model Model) {
+func (m *Manager) deliverBatch(from string, targets []*unitRec, ev *event.Event, model Model) {
 	if model == SingleThreaded {
 		m.mu.Lock()
 		for _, rec := range targets {
 			m.stats.Delivered++
+			if m.obs != nil {
+				m.obs.delivered.Inc()
+			}
 			if rec.dedicated != nil {
+				d := rec.dedicated
 				m.mu.Unlock()
-				if !rec.dedicated.enqueue(ev) {
+				if !d.enqueue(ev) {
 					m.mu.Lock()
 					m.stats.Dropped++
 					m.mu.Unlock()
-				} else {
-					m.mu.Lock()
+					if m.obs != nil {
+						m.obs.dropped.Inc()
+					}
+				} else if m.obs != nil && m.obs.tracer != nil {
+					m.obs.tracer.Record(m.clk.Now(), trace.Span{
+						Node: m.obs.nodeStr, Kind: trace.KindDispatch,
+						Event: string(ev.Type), From: from, To: rec.unit.Name(),
+						QDepth: d.q.Len(),
+					})
 				}
+				m.mu.Lock()
 				continue
 			}
 			m.inlineQ.Push(inlineDelivery{rec: rec, ev: ev})
+			if m.obs != nil && m.obs.tracer != nil {
+				m.obs.tracer.Record(m.clk.Now(), trace.Span{
+					Node: m.obs.nodeStr, Kind: trace.KindDispatch,
+					Event: string(ev.Type), From: from, To: rec.unit.Name(),
+					QDepth: m.inlineQ.Len(),
+				})
+			}
 		}
 		if m.draining {
 			// An outer frame on this (or another) goroutine is already
@@ -581,7 +669,7 @@ func (m *Manager) deliverBatch(targets []*unitRec, ev *event.Event, model Model)
 		}
 	}
 	for _, rec := range targets {
-		m.deliver(rec, ev, model)
+		m.deliver(from, rec, ev, model)
 	}
 }
 
@@ -589,17 +677,34 @@ func (m *Manager) deliverBatch(targets []*unitRec, ev *event.Event, model Model)
 // (PerMessage/PerN), always inside the unit's critical section and in FIFO
 // emission order. SingleThreaded delivery goes through deliverBatch's
 // drain queue instead.
-func (m *Manager) deliver(rec *unitRec, ev *event.Event, model Model) {
+func (m *Manager) deliver(from string, rec *unitRec, ev *event.Event, model Model) {
 	m.mu.Lock()
 	m.stats.Delivered++
 	dedicated := rec.dedicated
 	m.mu.Unlock()
+	if m.obs != nil {
+		m.obs.delivered.Inc()
+		if m.obs.tracer != nil {
+			qdepth := 0
+			if dedicated != nil {
+				qdepth = dedicated.q.Len()
+			}
+			m.obs.tracer.Record(m.clk.Now(), trace.Span{
+				Node: m.obs.nodeStr, Kind: trace.KindDispatch,
+				Event: string(ev.Type), From: from, To: rec.unit.Name(),
+				QDepth: qdepth,
+			})
+		}
+	}
 
 	if dedicated != nil {
 		if !dedicated.enqueue(ev) {
 			m.mu.Lock()
 			m.stats.Dropped++
 			m.mu.Unlock()
+			if m.obs != nil {
+				m.obs.dropped.Inc()
+			}
 		}
 		return
 	}
@@ -607,10 +712,13 @@ func (m *Manager) deliver(rec *unitRec, ev *event.Event, model Model) {
 	switch model {
 	case PerMessage:
 		ticket := sec.Ticket()
+		if m.obs != nil {
+			m.obs.tickets.Inc()
+		}
 		m.inflight.Add(1)
 		go func() {
 			defer m.inflight.Done()
-			sec.Wait(ticket)
+			m.waitTicket(sec, ticket)
 			defer sec.Unlock()
 			_ = rec.unit.Accept(ev)
 		}()
@@ -625,10 +733,13 @@ func (m *Manager) deliver(rec *unitRec, ev *event.Event, model Model) {
 			m.mu.Unlock()
 		}
 		ticket := sec.Ticket()
+		if m.obs != nil {
+			m.obs.tickets.Inc()
+		}
 		m.inflight.Add(1)
 		err := workers.Submit(func() {
 			defer m.inflight.Done()
-			sec.Wait(ticket)
+			m.waitTicket(sec, ticket)
 			defer sec.Unlock()
 			_ = rec.unit.Accept(ev)
 		})
@@ -645,8 +756,20 @@ func (m *Manager) deliver(rec *unitRec, ev *event.Event, model Model) {
 		m.mu.Lock()
 		m.stats.Delivered-- // deliverBatch will re-count
 		m.mu.Unlock()
-		m.deliverBatch([]*unitRec{rec}, ev, SingleThreaded)
+		m.deliverBatch(from, []*unitRec{rec}, ev, SingleThreaded)
 	}
+}
+
+// waitTicket blocks until the shepherd's ticket is served, recording the
+// wait in the ticket-acquisition histogram when metrics are enabled.
+func (m *Manager) waitTicket(sec *TicketMutex, ticket uint64) {
+	if m.obs != nil && m.obs.ticketWait != nil {
+		start := time.Now()
+		sec.Wait(ticket)
+		m.obs.ticketWait.Observe(time.Since(start))
+		return
+	}
+	sec.Wait(ticket)
 }
 
 // WaitIdle blocks until all in-flight asynchronous deliveries (PerMessage,

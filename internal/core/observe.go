@@ -1,0 +1,68 @@
+package core
+
+// Observability bundles: instruments are resolved once, when a Manager or
+// Protocol is constructed/attached, and kept as plain pointers so the hot
+// paths (emit, deliver, Accept) never touch the registry. When both the
+// metrics registry and the tracer are disabled the bundle itself is nil,
+// making the entire instrumented path a single nil check — the property
+// the overhead guard test pins down.
+
+import (
+	"manetkit/internal/metrics"
+	"manetkit/internal/mnet"
+	"manetkit/internal/trace"
+)
+
+// managerObs is the Framework Manager's instrument bundle.
+type managerObs struct {
+	reg     *metrics.Registry
+	tracer  *trace.Tracer
+	nodeStr string
+
+	emitted   *metrics.Counter
+	delivered *metrics.Counter
+	dropped   *metrics.Counter
+	rewires   *metrics.Counter
+	tickets   *metrics.Counter // tickets drawn by asynchronous models
+
+	rewireLat  *metrics.Histogram // wall time to re-derive the topology
+	ticketWait *metrics.Histogram // wall time a shepherd waited on its ticket
+}
+
+// newManagerObs returns nil when observability is fully disabled.
+func newManagerObs(node mnet.Addr, reg *metrics.Registry, tr *trace.Tracer) *managerObs {
+	if reg == nil && tr == nil {
+		return nil
+	}
+	return &managerObs{
+		reg:        reg,
+		tracer:     tr,
+		nodeStr:    node.String(),
+		emitted:    reg.Counter("core_emitted"),
+		delivered:  reg.Counter("core_delivered"),
+		dropped:    reg.Counter("core_dropped"),
+		rewires:    reg.Counter("core_rewires"),
+		tickets:    reg.Counter("core_tickets"),
+		rewireLat:  reg.Histogram("core_rewire_latency"),
+		ticketWait: reg.Histogram("core_ticket_wait"),
+	}
+}
+
+// protoObs is a Protocol's instrument bundle, rebuilt on every Attach.
+type protoObs struct {
+	tracer     *trace.Tracer
+	nodeStr    string
+	handlerLat *metrics.Histogram // wall time per handler invocation
+}
+
+// newProtoObs returns nil when the deployment carries no observability.
+func newProtoObs(env *Env) *protoObs {
+	if env == nil || (env.metrics == nil && env.tracer == nil) {
+		return nil
+	}
+	return &protoObs{
+		tracer:     env.tracer,
+		nodeStr:    env.Node.String(),
+		handlerLat: env.metrics.Histogram("core_handler_latency"),
+	}
+}

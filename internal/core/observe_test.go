@@ -1,0 +1,239 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"manetkit/internal/event"
+	"manetkit/internal/metrics"
+	"manetkit/internal/mnet"
+	"manetkit/internal/trace"
+	"manetkit/internal/vclock"
+)
+
+// newObservedMgr builds a manager with metrics and tracing enabled.
+func newObservedMgr(t *testing.T, model Model) (*Manager, *metrics.Registry, *trace.Tracer) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	tr := trace.New(epoch, 1<<12)
+	m, err := NewManager(Config{
+		Node:    mnet.MustParseAddr("10.0.0.1"),
+		Clock:   vclock.NewVirtual(epoch),
+		Model:   model,
+		Metrics: reg,
+		Tracer:  tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m, reg, tr
+}
+
+func TestObservedDispatchCountsAndTraces(t *testing.T) {
+	m, reg, tr := newObservedMgr(t, SingleThreaded)
+	prov := newRecorder(t, "provider", event.Tuple{Provided: []event.Type{event.TCOut}})
+	req := newRecorder(t, "requirer", event.Tuple{Required: []event.Requirement{{Type: event.TCOut}}})
+	for _, p := range []*Protocol{prov.p, req.p} {
+		if err := m.Deploy(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	emitFrom(t, m, "provider", &event.Event{Type: event.TCOut})
+	emitFrom(t, m, "provider", &event.Event{Type: event.TCOut})
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["core_emitted"]; got != 2 {
+		t.Fatalf("core_emitted = %d, want 2", got)
+	}
+	if got := snap.Counters["core_delivered"]; got != 2 {
+		t.Fatalf("core_delivered = %d, want 2", got)
+	}
+	// Deploys re-derive the topology.
+	if got := snap.Counters["core_rewires"]; got < 2 {
+		t.Fatalf("core_rewires = %d, want >= 2", got)
+	}
+
+	var emits, dispatches, handles int
+	for _, s := range tr.Spans() {
+		switch s.Kind {
+		case trace.KindEmit:
+			emits++
+			if s.Node != "10.0.0.1" || s.Event != string(event.TCOut) {
+				t.Fatalf("bad emit span: %+v", s)
+			}
+		case trace.KindDispatch:
+			dispatches++
+			if s.From != "provider" || s.To != "requirer" {
+				t.Fatalf("bad dispatch span: %+v", s)
+			}
+		case trace.KindHandle:
+			handles++
+			if s.To != "requirer" {
+				t.Fatalf("bad handle span: %+v", s)
+			}
+		}
+	}
+	if emits != 2 || dispatches != 2 || handles != 2 {
+		t.Fatalf("spans: emit=%d dispatch=%d handle=%d, want 2 each", emits, dispatches, handles)
+	}
+}
+
+func TestObservedDropOnUnroutedEvent(t *testing.T) {
+	m, reg, tr := newObservedMgr(t, SingleThreaded)
+	prov := newRecorder(t, "provider", event.Tuple{Provided: []event.Type{event.TCOut}})
+	if err := m.Deploy(prov.p); err != nil {
+		t.Fatal(err)
+	}
+	emitFrom(t, m, "provider", &event.Event{Type: event.TCOut})
+	if got := reg.Snapshot().Counters["core_dropped"]; got != 1 {
+		t.Fatalf("core_dropped = %d, want 1", got)
+	}
+	var drops int
+	for _, s := range tr.Spans() {
+		if s.Kind == trace.KindDrop {
+			drops++
+		}
+	}
+	if drops != 1 {
+		t.Fatalf("drop spans = %d, want 1", drops)
+	}
+}
+
+func TestObservedAsyncModelCountsTickets(t *testing.T) {
+	m, reg, _ := newObservedMgr(t, PerMessage)
+	prov := newRecorder(t, "provider", event.Tuple{Provided: []event.Type{event.TCOut}})
+	req := newRecorder(t, "requirer", event.Tuple{Required: []event.Requirement{{Type: event.TCOut}}})
+	for _, p := range []*Protocol{prov.p, req.p} {
+		if err := m.Deploy(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	emitFrom(t, m, "provider", &event.Event{Type: event.TCOut})
+	snap := reg.Snapshot()
+	if got := snap.Counters["core_tickets"]; got != 1 {
+		t.Fatalf("core_tickets = %d, want 1", got)
+	}
+	if got := snap.Histograms["core_ticket_wait"].Count; got != 1 {
+		t.Fatalf("core_ticket_wait count = %d, want 1", got)
+	}
+}
+
+func TestObservedDedicatedQueueGauge(t *testing.T) {
+	m, reg, _ := newObservedMgr(t, SingleThreaded)
+	prov := newRecorder(t, "provider", event.Tuple{Provided: []event.Type{event.TCOut}})
+	req := newRecorder(t, "requirer", event.Tuple{Required: []event.Requirement{{Type: event.TCOut}}})
+	for _, p := range []*Protocol{prov.p, req.p} {
+		if err := m.Deploy(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.EnableDedicatedThread("requirer"); err != nil {
+		t.Fatal(err)
+	}
+	emitFrom(t, m, "provider", &event.Event{Type: event.TCOut})
+	snap := reg.Snapshot()
+	if _, ok := snap.Gauges["core_dedicated_depth:requirer"]; !ok {
+		t.Fatalf("dedicated depth gauge missing: %+v", snap.Gauges)
+	}
+	if got := snap.Counters["core_delivered"]; got != 1 {
+		t.Fatalf("core_delivered = %d, want 1", got)
+	}
+}
+
+// A manager built without observability must carry a nil bundle: the whole
+// instrumented path is then a single nil check per site.
+func TestDisabledObservabilityIsNil(t *testing.T) {
+	m, _ := newMgr(t, SingleThreaded)
+	if m.obs != nil {
+		t.Fatal("manager without metrics/tracer carries a non-nil obs bundle")
+	}
+	p := NewProtocol("p")
+	p.SetTuple(event.Tuple{Required: []event.Requirement{{Type: event.TCOut}}})
+	if err := m.Deploy(p); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	obs := p.obs
+	p.mu.Unlock()
+	if obs != nil {
+		t.Fatal("protocol in unobserved deployment carries a non-nil obs bundle")
+	}
+}
+
+// TestObservabilityOverheadGuard is the <5% budget check from the issue:
+// the disabled path's per-dispatch cost (a handful of nil-receiver method
+// calls) must stay below 5% of the uninstrumented direct-dispatch cost.
+// Measured as ratio of ns/op so the bound holds on any hardware.
+func TestObservabilityOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		// Keep it, but cheap: -short still runs the guard, just with the
+		// default 1s benchtime halved by benchTime below being untunable;
+		// the measurement itself is fast either way.
+		t.Log("running overhead guard in short mode")
+	}
+
+	// Cost of one uninstrumented dispatch (provider -> requirer, inline).
+	dispatch := testing.Benchmark(BenchmarkEmitDirect)
+	perDispatch := float64(dispatch.NsPerOp())
+	if perDispatch <= 0 {
+		t.Skip("benchmark resolution too coarse on this platform")
+	}
+
+	// Cost of the nil checks the instrumentation adds per dispatch: the
+	// manager sites touch one nil bundle check each on emit/deliver, plus
+	// the queue's nil instruments; model it as 8 nil-receiver calls, a
+	// strict over-count of the real disabled path.
+	var (
+		c *metrics.Counter
+		g *metrics.Gauge
+		h *metrics.Histogram
+		r *trace.Tracer
+	)
+	nilSite := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			c.Inc()
+			c.Inc()
+			g.Set(1)
+			h.Observe(time.Millisecond)
+			h.Observe(time.Millisecond)
+			r.Record(epoch, trace.Span{})
+			r.Record(epoch, trace.Span{})
+		}
+	})
+	perSite := float64(nilSite.NsPerOp())
+
+	ratio := perSite / perDispatch
+	t.Logf("dispatch=%.1fns nil-instrumentation=%.1fns overhead=%.2f%%",
+		perDispatch, perSite, 100*ratio)
+	if ratio >= 0.05 {
+		t.Fatalf("disabled observability overhead %.2f%% >= 5%% budget (dispatch %.1fns, nil sites %.1fns)",
+			100*ratio, perDispatch, perSite)
+	}
+}
+
+// BenchmarkEmitDirectInstrumented is BenchmarkEmitDirect with metrics and
+// tracing enabled — the CI-tracked companion number.
+func BenchmarkEmitDirectInstrumented(b *testing.B) {
+	reg := metrics.NewRegistry()
+	tr := trace.New(epoch, 1<<12)
+	m, err := NewManager(Config{
+		Node:    mnet.MustParseAddr("10.0.0.1"),
+		Clock:   vclock.NewVirtual(epoch),
+		Model:   SingleThreaded,
+		Metrics: reg,
+		Tracer:  tr,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(m.Close)
+	src := deployPair(b, m)
+	ev := &event.Event{Type: event.HelloIn}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = src.Emit(ev)
+	}
+}

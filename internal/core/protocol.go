@@ -10,6 +10,7 @@ import (
 	"manetkit/internal/event"
 	"manetkit/internal/kernel"
 	"manetkit/internal/mnet"
+	"manetkit/internal/trace"
 	"manetkit/internal/vclock"
 )
 
@@ -198,6 +199,7 @@ type Protocol struct {
 	forward  kernel.Component
 	state    kernel.Component
 	env      *Env
+	obs      *protoObs // rebuilt on Attach, nil when observability is off
 	started  bool
 	dedic    bool // prefer the thread-per-ManetProtocol model
 	stats    Stats
@@ -500,6 +502,7 @@ func (p *Protocol) ForwardElement() kernel.Component {
 func (p *Protocol) Attach(env *Env) {
 	p.mu.Lock()
 	p.env = env
+	p.obs = newProtoObs(env)
 	p.mu.Unlock()
 }
 
@@ -508,6 +511,7 @@ func (p *Protocol) Detach() {
 	p.Stop()
 	p.mu.Lock()
 	p.env = nil
+	p.obs = nil
 	p.mu.Unlock()
 }
 
@@ -655,6 +659,7 @@ func (p *Protocol) Accept(ev *event.Event) error {
 		return ErrNotDeployed
 	}
 	handlers := append([]Handler(nil), p.handlers...)
+	obs := p.obs
 	p.stats.Delivered++
 	p.mu.Unlock()
 
@@ -667,7 +672,21 @@ func (p *Protocol) Accept(ev *event.Event) error {
 		p.mu.Lock()
 		p.stats.Handled++
 		p.mu.Unlock()
-		if err := h.Handle(ctx, ev); err != nil {
+		if obs != nil && obs.tracer != nil {
+			obs.tracer.Record(env.Clock.Now(), trace.Span{
+				Node: obs.nodeStr, Kind: trace.KindHandle,
+				Event: string(ev.Type), To: p.Name(), Handler: h.Name(),
+			})
+		}
+		var err error
+		if obs != nil && obs.handlerLat != nil {
+			start := time.Now()
+			err = h.Handle(ctx, ev)
+			obs.handlerLat.Observe(time.Since(start))
+		} else {
+			err = h.Handle(ctx, ev)
+		}
+		if err != nil {
 			p.mu.Lock()
 			p.stats.Errors++
 			p.mu.Unlock()

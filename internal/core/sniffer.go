@@ -16,7 +16,7 @@ import (
 // protocols'), so a slow observer cannot distort protocol atomicity —
 // though under the single-threaded model it still shares the one delivery
 // thread.
-func NewSniffer(name string, fn func(ev *event.Event)) *Protocol {
+func NewSniffer(name string, fn func(ev *event.Event)) (*Protocol, error) {
 	if name == "" {
 		name = "sniffer"
 	}
@@ -26,7 +26,7 @@ func NewSniffer(name string, fn func(ev *event.Event)) *Protocol {
 		fn(ev)
 		return nil
 	})); err != nil {
-		panic(fmt.Sprintf("core: sniffer handler: %v", err))
+		return nil, fmt.Errorf("core: sniffer handler: %w", err)
 	}
-	return p
+	return p, nil
 }

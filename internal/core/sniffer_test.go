@@ -11,7 +11,10 @@ func TestSnifferSeesEverything(t *testing.T) {
 	src := newRecorder(t, "src", event.Tuple{Provided: []event.Type{event.HelloIn, event.TCOut, event.PowerStatus}})
 	sink := newRecorder(t, "sink", event.Tuple{Required: []event.Requirement{{Type: event.HelloIn}}})
 	var seen []event.Type
-	sniff := NewSniffer("", func(ev *event.Event) { seen = append(seen, ev.Type) })
+	sniff, err := NewSniffer("", func(ev *event.Event) { seen = append(seen, ev.Type) })
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, u := range []*Protocol{src.p, sink.p, sniff} {
 		if err := m.Deploy(u); err != nil {
 			t.Fatal(err)
@@ -35,7 +38,10 @@ func TestSnifferSeesEverything(t *testing.T) {
 
 func TestSnifferDoesNotReceiveOwnName(t *testing.T) {
 	m, _ := newMgr(t, SingleThreaded)
-	sniff := NewSniffer("custom-tap", func(*event.Event) {})
+	sniff, err := NewSniffer("custom-tap", func(*event.Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := m.Deploy(sniff); err != nil {
 		t.Fatal(err)
 	}

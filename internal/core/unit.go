@@ -20,7 +20,9 @@ package core
 import (
 	"manetkit/internal/event"
 	"manetkit/internal/kernel"
+	"manetkit/internal/metrics"
 	"manetkit/internal/mnet"
+	"manetkit/internal/trace"
 	"manetkit/internal/vclock"
 )
 
@@ -62,7 +64,18 @@ type Env struct {
 	// retuple notifies the Framework Manager that the named unit's event
 	// tuple changed, triggering automatic re-derivation of the topology.
 	retuple func(name string)
+	// metrics and tracer carry the Manager's observability sinks into the
+	// deployed units; both are nil when observability is disabled.
+	metrics *metrics.Registry
+	tracer  *trace.Tracer
 }
+
+// Metrics returns the deployment's metrics registry (nil when disabled; a
+// nil registry hands out nil no-op instruments).
+func (e *Env) Metrics() *metrics.Registry { return e.metrics }
+
+// Tracer returns the deployment's span tracer (nil when disabled).
+func (e *Env) Tracer() *trace.Tracer { return e.tracer }
 
 // Emit routes ev from the unit named from through the Framework Manager's
 // binding topology.

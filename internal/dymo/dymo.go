@@ -17,6 +17,7 @@ import (
 
 	"manetkit/internal/core"
 	"manetkit/internal/event"
+	"manetkit/internal/metrics"
 	"manetkit/internal/mnet"
 	"manetkit/internal/packetbb"
 	"manetkit/internal/route"
@@ -70,9 +71,10 @@ func (c *Config) fill() {
 
 // pendingREQ tracks one in-progress route discovery.
 type pendingREQ struct {
-	dst   mnet.Addr
-	tries int
-	timer vclock.Timer
+	dst     mnet.Addr
+	tries   int
+	timer   vclock.Timer
+	started time.Time // virtual-clock discovery start, for the latency histogram
 }
 
 // dupKey identifies an RE message for duplicate suppression.
@@ -193,6 +195,14 @@ type DYMO struct {
 
 	mu      sync.Mutex
 	flooder Flooder // nil = blind flooding
+
+	// Instruments, resolved from the deployment's registry on Start; nil
+	// (no-op) when the deployment carries no metrics.
+	mDiscoveries  *metrics.Counter
+	mRetries      *metrics.Counter
+	mGiveUps      *metrics.Counter
+	mRREQTx       *metrics.Counter
+	mDiscoveryLat *metrics.Histogram // virtual time: NoRoute -> RouteFound
 }
 
 // Flooder abstracts the optimised-flooding decision so the MPR CF can be
@@ -252,6 +262,15 @@ func New(name string, cfg Config) *DYMO {
 	if err := d.proto.AddSource(core.NewSource("route-sweep", cfg.RouteLifetime/2, 0, d.sweep)); err != nil {
 		panic(err)
 	}
+	d.proto.OnStart(func(ctx *core.Context) error {
+		reg := ctx.Env().Metrics()
+		d.mDiscoveries = reg.Counter("dymo_discoveries")
+		d.mRetries = reg.Counter("dymo_retries")
+		d.mGiveUps = reg.Counter("dymo_giveups")
+		d.mRREQTx = reg.Counter("dymo_rreq_tx")
+		d.mDiscoveryLat = reg.Histogram("dymo_discovery_latency")
+		return nil
+	})
 	d.proto.OnStop(func(ctx *core.Context) error {
 		d.state.mu.Lock()
 		for _, p := range d.state.pending {
@@ -300,13 +319,14 @@ func (d *DYMO) onNoRoute(ctx *core.Context, ev *event.Event) error {
 	d.state.mu.Lock()
 	_, already := d.state.pending[dst]
 	if !already {
-		d.state.pending[dst] = &pendingREQ{dst: dst}
+		d.state.pending[dst] = &pendingREQ{dst: dst, started: ctx.Clock().Now()}
 		d.state.stats.Discoveries++
 	}
 	d.state.mu.Unlock()
 	if already {
 		return nil
 	}
+	d.mDiscoveries.Inc()
 	d.sendRREQ(ctx, dst, 1)
 	return nil
 }
@@ -331,6 +351,7 @@ func (d *DYMO) sendRREQ(ctx *core.Context, dst mnet.Addr, attempt int) {
 	if f := d.currentFlooder(); f != nil {
 		f.Seen(ctx.Node(), seq, now)
 	}
+	d.mRREQTx.Inc()
 	ctx.Emit(&event.Event{Type: event.REOut, Msg: msg, Dst: mnet.Broadcast})
 
 	wait := d.cfg.RREQWait << (attempt - 1) // binary exponential backoff
@@ -358,9 +379,11 @@ func (d *DYMO) retry(ctx *core.Context, dst mnet.Addr, attempt int) {
 		delete(d.state.pending, dst)
 		d.state.stats.GiveUps++
 		d.state.mu.Unlock()
+		d.mGiveUps.Inc()
 		return
 	}
 	d.state.stats.Retries++
+	d.mRetries.Inc()
 	d.state.mu.Unlock()
 	d.sendRREQ(ctx, dst, attempt+1)
 }
@@ -428,6 +451,9 @@ func (d *DYMO) completeDiscovery(ctx *core.Context, dst mnet.Addr) {
 	}
 	d.state.mu.Unlock()
 	if ok {
+		if !p.started.IsZero() {
+			d.mDiscoveryLat.Observe(ctx.Clock().Now().Sub(p.started))
+		}
 		ctx.Emit(&event.Event{Type: event.RouteFound, Route: &event.RoutePayload{Dst: dst}})
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"manetkit/internal/mnet"
+	"manetkit/internal/trace"
 	"manetkit/internal/vclock"
 )
 
@@ -35,7 +36,7 @@ func chaosRun(t *testing.T, seed int64) (Stats, []string, []string) {
 		_ = i
 	}
 
-	plan := NewFaultPlan(seed + 100).
+	plan := NewFaultPlan(seed+100).
 		Partition(300*time.Millisecond, 600*time.Millisecond, addrs[:2], addrs[2:]).
 		Crash(700*time.Millisecond, 900*time.Millisecond, addrs[1]).
 		CorruptFrames(0, time.Second, 0.3).
@@ -90,5 +91,73 @@ func TestDeterministicReplay(t *testing.T) {
 	stats3, _, _ := chaosRun(t, 8)
 	if stats1 == stats3 {
 		t.Fatalf("different seeds produced identical stats — seed is not wired through")
+	}
+}
+
+// goldenFrameFingerprint is the committed frame-level trace fingerprint of
+// the seed-7 chaos run: every tx/rx/drop on the faulty medium, in order.
+// Update it (from the failure message) only when a change intentionally
+// alters medium behaviour.
+const goldenFrameFingerprint = "b9399eb3795e1444"
+
+// frameTraceRun repeats the seed-7 chaos run with the structured tracer on
+// the medium and returns the tracer.
+func frameTraceRun(t *testing.T, seed int64) *trace.Tracer {
+	t.Helper()
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	clk := vclock.NewVirtual(epoch)
+	net := New(clk, seed)
+	tr := trace.New(epoch, 0)
+	net.SetTracer(tr)
+	addrs := Addrs(4)
+	q := DefaultQuality()
+	q.Loss = 0.2
+	if err := BuildLine(net, addrs, q); err != nil {
+		t.Fatalf("BuildLine: %v", err)
+	}
+	plan := NewFaultPlan(seed+100).
+		Partition(300*time.Millisecond, 600*time.Millisecond, addrs[:2], addrs[2:]).
+		Crash(700*time.Millisecond, 900*time.Millisecond, addrs[1]).
+		CorruptFrames(0, time.Second, 0.3).
+		DuplicateFrames(0, time.Second, 0.3).
+		ReorderFrames(0, time.Second, 0.3, 3*time.Millisecond)
+	plan.Apply(net)
+	for i, a := range addrs {
+		a := a
+		next := addrs[(i+1)%len(addrs)]
+		for k := 0; k < 20; k++ {
+			k := k
+			clk.AfterFunc(time.Duration(k)*50*time.Millisecond, func() {
+				nic, ok := net.NIC(a)
+				if !ok {
+					return
+				}
+				_ = nic.Send(mnet.Broadcast, []byte(fmt.Sprintf("beacon %v %d", a, k)))
+				_ = nic.Send(next, []byte(fmt.Sprintf("uni %v %d", a, k)))
+			})
+		}
+	}
+	clk.Advance(1200 * time.Millisecond)
+	return tr
+}
+
+// TestGoldenFrameTrace pins the frame-level span stream of the faulty
+// seed-7 run to a committed fingerprint: the structured-trace analogue of
+// TestDeterministicReplay, sensitive to delivery *order* as well as counts.
+func TestGoldenFrameTrace(t *testing.T) {
+	tr := frameTraceRun(t, 7)
+	if tr.Len() == 0 {
+		t.Fatal("empty frame trace")
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("trace evicted %d spans", tr.Dropped())
+	}
+	if got := tr.Fingerprint(); got != goldenFrameFingerprint {
+		t.Errorf("frame trace fingerprint = %s, want %s (%d spans)\n"+
+			"If this change intentionally alters medium behaviour, update goldenFrameFingerprint.",
+			got, goldenFrameFingerprint, tr.Len())
+	}
+	if got2 := frameTraceRun(t, 7).Fingerprint(); got2 != tr.Fingerprint() {
+		t.Fatalf("same-seed frame traces diverged: %s vs %s", tr.Fingerprint(), got2)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"manetkit/internal/mnet"
+	"manetkit/internal/trace"
 	"manetkit/internal/vclock"
 )
 
@@ -90,6 +91,7 @@ type Network struct {
 	stats Stats
 	tap   func(Frame, mnet.Addr) // (frame, receiver); nil when unset
 	inj   *Injector              // nil until a FaultPlan is applied
+	obs   *netObs                // nil when observability is disabled
 }
 
 // New creates an empty medium on the given clock. seed drives the loss
@@ -282,6 +284,15 @@ func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device stri
 	n.mu.Lock()
 	n.stats.TxFrames++
 	n.stats.TxBytes += uint64(len(payload))
+	if n.obs != nil {
+		n.obs.txFrames.Inc()
+		if n.obs.tracer != nil {
+			n.obs.tracer.Record(n.clock.Now(), trace.Span{
+				Node: src.String(), Kind: trace.KindFrameTx,
+				To: traceTo(dst), Bytes: len(payload),
+			})
+		}
+	}
 
 	type delivery struct {
 		nic *NIC
@@ -304,6 +315,15 @@ func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device stri
 		nic, attached := n.nodes[dst]
 		if !ok || !attached {
 			n.stats.DroppedNoLink++
+			if n.obs != nil {
+				n.obs.droppedNoLink.Inc()
+				if n.obs.tracer != nil {
+					n.obs.tracer.Record(n.clock.Now(), trace.Span{
+						Node: src.String(), Kind: trace.KindFrameDrop,
+						Event: "no-link", To: dst.String(), Bytes: len(payload),
+					})
+				}
+			}
 			n.mu.Unlock()
 			return
 		}
@@ -321,6 +341,15 @@ func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device stri
 	for _, d := range targets {
 		if d.q.Loss > 0 && n.rng.Float64() < d.q.Loss {
 			n.stats.DroppedLoss++
+			if n.obs != nil {
+				n.obs.droppedLoss.Inc()
+				if n.obs.tracer != nil {
+					n.obs.tracer.Record(n.clock.Now(), trace.Span{
+						Node: src.String(), Kind: trace.KindFrameDrop,
+						Event: "loss", To: d.nic.addr.String(), Bytes: len(buf),
+					})
+				}
+			}
 			continue
 		}
 		frame := Frame{Src: src, Dst: dst, Payload: buf, Device: device, RSSI: d.q.SignalDBm}
@@ -332,6 +361,11 @@ func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device stri
 			}
 		}
 		due = append(due, pending{d.nic, frame, delay})
+	}
+	if n.obs != nil && n.obs.linkDelay != nil {
+		for _, d := range due {
+			n.obs.linkDelay.Observe(d.delay)
+		}
 	}
 	n.mu.Unlock()
 
@@ -404,14 +438,39 @@ func (c *NIC) SendWithFeedback(dst mnet.Addr, payload []byte, cb func(delivered 
 	n.mu.Lock()
 	n.stats.TxFrames++
 	n.stats.TxBytes += uint64(len(payload))
+	if n.obs != nil {
+		n.obs.txFrames.Inc()
+		if n.obs.tracer != nil {
+			n.obs.tracer.Record(n.clock.Now(), trace.Span{
+				Node: c.addr.String(), Kind: trace.KindFrameTx,
+				To: dst.String(), Bytes: len(payload),
+			})
+		}
+	}
 	q, linked := n.links[linkKey{c.addr, dst}]
 	nic, attached := n.nodes[dst]
 	lost := false
 	if !linked || !attached {
 		n.stats.DroppedNoLink++
+		if n.obs != nil {
+			n.obs.droppedNoLink.Inc()
+		}
 	} else if q.Loss > 0 && n.rng.Float64() < q.Loss {
 		n.stats.DroppedLoss++
+		if n.obs != nil {
+			n.obs.droppedLoss.Inc()
+		}
 		lost = true
+	}
+	if n.obs != nil && n.obs.tracer != nil && (!linked || !attached || lost) {
+		reason := "no-link"
+		if lost {
+			reason = "loss"
+		}
+		n.obs.tracer.Record(n.clock.Now(), trace.Span{
+			Node: c.addr.String(), Kind: trace.KindFrameDrop,
+			Event: reason, To: dst.String(), Bytes: len(payload),
+		})
 	}
 	var frame Frame
 	delay := q.Delay
@@ -423,6 +482,9 @@ func (c *NIC) SendWithFeedback(dst mnet.Addr, payload []byte, cb func(delivered 
 			Device: c.device, RSSI: q.SignalDBm}
 		if n.inj != nil {
 			n.inj.corruptOnlyLocked(n, dst, &frame)
+		}
+		if n.obs != nil && n.obs.linkDelay != nil {
+			n.obs.linkDelay.Observe(delay)
 		}
 	}
 	n.mu.Unlock()
@@ -454,6 +516,18 @@ func (c *NIC) deliver(f Frame) {
 	n.mu.Lock()
 	n.stats.RxFrames++
 	n.stats.RxBytes += uint64(len(f.Payload))
+	if n.obs != nil {
+		n.obs.rxFrames.Inc()
+		if f.Corrupted {
+			n.obs.corrupted.Inc()
+		}
+		if n.obs.tracer != nil {
+			n.obs.tracer.Record(n.clock.Now(), trace.Span{
+				Node: c.addr.String(), Kind: trace.KindFrameRx,
+				From: f.Src.String(), Bytes: len(f.Payload),
+			})
+		}
+	}
 	tap := n.tap
 	n.mu.Unlock()
 

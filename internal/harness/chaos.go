@@ -25,10 +25,12 @@ import (
 	"manetkit/internal/emunet"
 	"manetkit/internal/event"
 	"manetkit/internal/invariant"
+	"manetkit/internal/metrics"
 	"manetkit/internal/mnet"
 	"manetkit/internal/neighbor"
 	"manetkit/internal/route"
 	"manetkit/internal/testbed"
+	"manetkit/internal/trace"
 )
 
 // Chaos scenario names accepted by RunChaos.
@@ -62,6 +64,10 @@ type ChaosConfig struct {
 	// Traffic is the number of end-to-end data packets sent from the
 	// first node to the last across the fault window (default 7).
 	Traffic int
+	// Tracer, when non-nil, records structured spans from the whole run
+	// (mkemu -trace). It does not perturb the report: span recording is
+	// passive and the fingerprint covers only counters.
+	Tracer *trace.Tracer
 }
 
 func (cfg *ChaosConfig) fill() error {
@@ -114,6 +120,12 @@ type ChaosReport struct {
 	// committed (reconfig/storm scenarios only).
 	Reconfigured bool
 
+	// Metrics is the cluster-wide counter snapshot at the end of the run
+	// (framework, medium and protocol counters). Counters are deterministic
+	// under the virtual clock, so they are part of the fingerprint; gauges
+	// and wall-time histograms are deliberately excluded.
+	Metrics map[string]uint64
+
 	// Violations are the snapshot-invariant breaches found after the
 	// convergence bound; SeqViolations are live monotonic-sequence
 	// breaches observed during the run. Both empty on a healthy run.
@@ -135,6 +147,9 @@ func (r *ChaosReport) Fingerprint() string {
 		r.TapFrames, r.Reconfigured)
 	for _, l := range r.FaultLog {
 		fmt.Fprintln(h, l)
+	}
+	for _, k := range sortedMetricKeys(r.Metrics) {
+		fmt.Fprintf(h, "metric %s=%d\n", k, r.Metrics[k])
 	}
 	for _, v := range r.Violations {
 		fmt.Fprintln(h, v.String())
@@ -159,6 +174,12 @@ func (r *ChaosReport) Summary() string {
 	if r.Reconfigured {
 		fmt.Fprintf(&b, "reconfig: coordinated sniffer deployment committed on all nodes\n")
 	}
+	if len(r.Metrics) > 0 {
+		fmt.Fprintf(&b, "metrics:\n")
+		for _, k := range sortedMetricKeys(r.Metrics) {
+			fmt.Fprintf(&b, "  %-28s %d\n", k, r.Metrics[k])
+		}
+	}
 	fmt.Fprintf(&b, "invariants: %d control frames watched, %d snapshot + %d live violations\n",
 		r.TapFrames, len(r.Violations), len(r.SeqViolations))
 	for _, v := range r.Violations {
@@ -171,6 +192,17 @@ func (r *ChaosReport) Summary() string {
 		fmt.Fprintf(&b, "all invariants held\n")
 	}
 	return b.String()
+}
+
+// sortedMetricKeys returns the counter names in stable (sorted) order so
+// the fingerprint and summary are deterministic.
+func sortedMetricKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // chaosNode is one deployed node plus the handles the harness needs to
@@ -288,7 +320,10 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	c, err := testbed.New(cfg.Nodes, testbed.Options{Seed: cfg.Seed})
+	reg := metrics.NewRegistry()
+	c, err := testbed.New(cfg.Nodes, testbed.Options{
+		Seed: cfg.Seed, Metrics: reg, Tracer: cfg.Tracer,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -383,7 +418,10 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 			res, err := coord.Run(members, coord.Action{
 				Name: "chaos-sniffer",
 				Apply: func(m *coord.Member) error {
-					sn := core.NewSniffer("chaos-sniffer", func(*event.Event) {})
+					sn, err := core.NewSniffer("chaos-sniffer", func(*event.Event) {})
+					if err != nil {
+						return err
+					}
 					if err := m.Mgr.Deploy(sn); err != nil {
 						return err
 					}
@@ -417,6 +455,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 
 	report.Medium = c.Net.Stats()
 	report.FaultLog = inj.Log()
+	report.Metrics = reg.Snapshot().Counters
 	report.TapFrames = watch.Frames()
 	report.SeqViolations = watch.Violations()
 	report.Violations = invariant.DefaultSuite().Run(snapshotCluster(c, nodes))

@@ -1,0 +1,87 @@
+package harness
+
+// Golden-trace tests: one small scripted run per protocol family, traced
+// through the observability layer, with the trace fingerprint committed.
+// The virtual clock and seeded medium make the span stream a pure function
+// of (composition, seed), so any change to dispatch order, timer firing,
+// message handling or the frame pipeline shows up as a fingerprint drift —
+// the strongest whole-stack determinism regression we have. When a change
+// legitimately alters protocol behaviour, re-run with -run TestGoldenTrace
+// -v and update the constant from the failure message.
+
+import (
+	"testing"
+	"time"
+
+	"manetkit/internal/metrics"
+	"manetkit/internal/testbed"
+	"manetkit/internal/trace"
+)
+
+// goldenTrace drives the canonical scripted run for one protocol family:
+// a 3-node line, 13s of convergence, one end-to-end data packet, then 10s
+// of settling — all traced.
+func goldenTrace(t *testing.T, proto string) *trace.Tracer {
+	t.Helper()
+	tr := trace.New(testbed.Epoch, 0)
+	c, err := testbed.New(3, testbed.Options{
+		Seed: 1, Tracer: tr, Metrics: metrics.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("testbed.New: %v", err)
+	}
+	defer c.Close()
+	if err := c.Line(); err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	for _, node := range c.Nodes {
+		if _, err := deployChaos(c, node, proto); err != nil {
+			t.Fatalf("deploy %s: %v", proto, err)
+		}
+	}
+	c.Run(13 * time.Second)
+	if err := c.Nodes[0].Sys.Filter().SendData(c.Nodes[2].Addr, []byte("golden")); err != nil {
+		t.Fatalf("SendData: %v", err)
+	}
+	c.Run(10 * time.Second)
+	return tr
+}
+
+// Committed golden fingerprints, one per protocol family.
+var goldenFingerprints = map[string]string{
+	"olsr": "698703c26adb0e30",
+	"dymo": "c3fa97f260855a23",
+	"aodv": "a1f74b7fb4a7a59e",
+	"zrp":  "9ad3acaefae968a7",
+}
+
+func TestGoldenTraces(t *testing.T) {
+	for proto, want := range goldenFingerprints {
+		proto, want := proto, want
+		t.Run(proto, func(t *testing.T) {
+			tr := goldenTrace(t, proto)
+			if tr.Len() == 0 {
+				t.Fatal("empty trace")
+			}
+			if tr.Dropped() != 0 {
+				t.Fatalf("trace evicted %d spans; raise the capacity so the golden covers the whole run", tr.Dropped())
+			}
+			if got := tr.Fingerprint(); got != want {
+				t.Errorf("%s golden trace fingerprint = %s, want %s (%d spans)\n"+
+					"If this change intentionally alters protocol behaviour, update goldenFingerprints.",
+					proto, got, want, tr.Len())
+			}
+		})
+	}
+}
+
+// TestGoldenTraceReproducible guards the foundation the committed
+// fingerprints stand on: two identical runs must produce byte-identical
+// traces on any host.
+func TestGoldenTraceReproducible(t *testing.T) {
+	a := goldenTrace(t, "dymo")
+	b := goldenTrace(t, "dymo")
+	if fa, fb := a.Fingerprint(), b.Fingerprint(); fa != fb {
+		t.Fatalf("same-seed traces diverged: %s vs %s", fa, fb)
+	}
+}

@@ -1,0 +1,331 @@
+// Package metrics is MANETKit's hot-path instrumentation layer: lock-cheap
+// counters, gauges and fixed-bucket latency histograms, aggregated in a
+// Registry shared by a whole deployment (typically one per testbed
+// cluster).
+//
+// The design constraint is that observability must cost nothing when it is
+// off. A nil *Registry hands out nil instruments, and every instrument
+// method is nil-safe, so an uninstrumented call site compiles down to a
+// single nil check — no map lookups, no locks, no allocations (see the
+// overhead guard in internal/core). Call sites resolve their instruments
+// once at construction time and keep the pointers; only Snapshot and
+// instrument creation take the registry lock.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// usable; a nil Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous level (queue depth, route count). The zero
+// value is usable; a nil Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the level by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current level (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultLatencyBuckets spans 1µs–10s exponentially — wide enough for both
+// per-message handler costs (µs) and route-discovery latencies (ms–s).
+var DefaultLatencyBuckets = []time.Duration{
+	time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond,
+	time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+	time.Second, 10 * time.Second,
+}
+
+// Histogram accumulates durations into fixed buckets chosen at creation.
+// Observations use only atomics; a nil Histogram is a no-op.
+type Histogram struct {
+	bounds  []time.Duration // sorted upper bounds; len(buckets) == len(bounds)+1
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+func newHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	bounds = append([]time.Duration(nil), bounds...)
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && d > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations (0 on nil).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Mean returns the average observation (0 when empty or nil).
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / time.Duration(n)
+}
+
+// HistogramSnapshot is a histogram's state at one instant.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     time.Duration `json:"sum_ns"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// BucketCount is one bucket of a HistogramSnapshot; the last bucket has
+// UpperBound 0, meaning +inf.
+type BucketCount struct {
+	UpperBound time.Duration `json:"le_ns"`
+	Count      uint64        `json:"count"`
+}
+
+// Snapshot captures the histogram. Nil histograms snapshot empty.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: time.Duration(h.sum.Load())}
+	for i := range h.buckets {
+		var le time.Duration
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, BucketCount{UpperBound: le, Count: h.buckets[i].Load()})
+	}
+	return s
+}
+
+// Registry creates and owns instruments by name. A nil Registry hands out
+// nil instruments, making every downstream call site a no-op; this is the
+// "disabled" configuration and the default everywhere.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil
+// registries return nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil registries
+// return nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (DefaultLatencyBuckets when none are given;
+// later calls reuse the first creation's buckets). Nil registries return
+// nil.
+func (r *Registry) Histogram(name string, bounds ...time.Duration) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a deterministic copy of every instrument's state.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry. Nil registries snapshot empty maps.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteText renders the snapshot sorted by instrument name — stable output
+// for reports and tests.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "%s count=%d sum=%v mean=%v\n",
+			name, h.Count, h.Sum, h.mean()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h HistogramSnapshot) mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PublishExpvar exposes the registry under the named expvar variable (for
+// mkemu's -http debug endpoint). expvar panics on duplicate names, so the
+// name is published at most once per process; later calls with the same
+// name are ignored.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames_tx")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("frames_tx") != c {
+		t.Fatalf("counter not interned by name")
+	}
+
+	g := r.Gauge("queue_depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+
+	h := r.Histogram("lat", time.Millisecond, 10*time.Millisecond)
+	h.Observe(500 * time.Microsecond) // bucket ≤1ms
+	h.Observe(2 * time.Millisecond)   // bucket ≤10ms
+	h.Observe(time.Minute)            // overflow bucket
+	if h.Count() != 3 {
+		t.Fatalf("histogram count = %d, want 3", h.Count())
+	}
+	snap := h.Snapshot()
+	if len(snap.Buckets) != 3 {
+		t.Fatalf("bucket count = %d, want 3", len(snap.Buckets))
+	}
+	wantCounts := []uint64{1, 1, 1}
+	for i, b := range snap.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Fatalf("bucket %d count = %d, want %d", i, b.Count, wantCounts[i])
+		}
+	}
+	if snap.Buckets[2].UpperBound != 0 {
+		t.Fatalf("overflow bucket bound = %v, want 0 (+inf)", snap.Buckets[2].UpperBound)
+	}
+	if got, want := h.Mean(), (500*time.Microsecond+2*time.Millisecond+time.Minute)/3; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestNilRegistryHandsOutNilInstruments(t *testing.T) {
+	var r *Registry
+	if c := r.Counter("x"); c != nil {
+		t.Fatalf("nil registry returned non-nil counter")
+	}
+	if g := r.Gauge("x"); g != nil {
+		t.Fatalf("nil registry returned non-nil gauge")
+	}
+	if h := r.Histogram("x"); h != nil {
+		t.Fatalf("nil registry returned non-nil histogram")
+	}
+	// All nil-instrument methods must be safe no-ops.
+	r.Counter("x").Inc()
+	r.Counter("x").Add(3)
+	r.Gauge("x").Set(1)
+	r.Gauge("x").Add(-1)
+	r.Histogram("x").Observe(time.Second)
+	if r.Counter("x").Value() != 0 || r.Gauge("x").Value() != 0 || r.Histogram("x").Count() != 0 {
+		t.Fatalf("nil instruments reported non-zero values")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+// The disabled path must not allocate: this is the contract the core
+// dispatch overhead guard builds on.
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1)
+		g.Add(1)
+		h.Observe(time.Millisecond)
+	}); n != 0 {
+		t.Fatalf("disabled instruments allocated %.1f per run, want 0", n)
+	}
+}
+
+// Enabled instruments must not allocate on the hot path either — only
+// atomics.
+func TestEnabledPathAllocatesNothing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(time.Millisecond)
+	}); n != 0 {
+		t.Fatalf("enabled instruments allocated %.1f per run, want 0", n)
+	}
+}
+
+func TestSnapshotWriteTextIsSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta").Inc()
+	r.Counter("alpha").Add(2)
+	r.Gauge("mid").Set(9)
+	r.Histogram("lat").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "alpha 2\n") || !strings.Contains(out, "zeta 1\n") {
+		t.Fatalf("missing counters in output:\n%s", out)
+	}
+	if strings.Index(out, "alpha") > strings.Index(out, "zeta") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+	// Two snapshots of the same registry must render identically.
+	var buf2 bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf2); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatalf("snapshot rendering not deterministic")
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("default")
+	h.Observe(50 * time.Microsecond)
+	snap := h.Snapshot()
+	if len(snap.Buckets) != len(DefaultLatencyBuckets)+1 {
+		t.Fatalf("bucket count = %d, want %d", len(snap.Buckets), len(DefaultLatencyBuckets)+1)
+	}
+}
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncEnabled(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserveEnabled(b *testing.B) {
+	h := NewRegistry().Histogram("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i))
+	}
+}

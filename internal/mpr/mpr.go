@@ -18,6 +18,7 @@ import (
 	"manetkit/internal/core"
 	"manetkit/internal/event"
 	"manetkit/internal/kernel"
+	"manetkit/internal/metrics"
 	"manetkit/internal/mnet"
 	"manetkit/internal/neighbor"
 	"manetkit/internal/packetbb"
@@ -135,6 +136,11 @@ type MPR struct {
 
 	mu   sync.Mutex
 	calc Calculator
+
+	// Instruments, resolved from the deployment's registry on Start; nil
+	// (no-op) when the deployment carries no metrics.
+	mHelloTx *metrics.Counter
+	mHelloRx *metrics.Counter
 }
 
 // New builds an MPR CF (name defaults to UnitName).
@@ -186,6 +192,12 @@ func New(name string, cfg Config) *MPR {
 	if err := m.proto.AddSource(core.NewSource("expiry-sweep", cfg.HelloInterval/2, 0, m.sweep)); err != nil {
 		panic(err)
 	}
+	m.proto.OnStart(func(ctx *core.Context) error {
+		reg := ctx.Env().Metrics()
+		m.mHelloTx = reg.Counter("mpr_hello_tx")
+		m.mHelloRx = reg.Counter("mpr_hello_rx")
+		return nil
+	})
 	return m
 }
 
@@ -223,6 +235,7 @@ func (m *MPR) CalculatorName() string {
 }
 
 func (m *MPR) emitHello(ctx *core.Context) {
+	m.mHelloTx.Inc()
 	ctx.Emit(&event.Event{
 		Type: event.HelloOut,
 		Msg:  m.BuildHello(ctx.Node()),
@@ -284,6 +297,7 @@ func (m *MPR) onHello(ctx *core.Context, ev *event.Event) error {
 	if ev.Msg == nil {
 		return nil
 	}
+	m.mHelloRx.Inc()
 	src := ev.Msg.Originator
 	if src.IsUnspecified() {
 		src = ev.Src

@@ -319,3 +319,103 @@ func newSensorProto(t *testing.T, node *testbed.Node) *core.Protocol {
 }
 
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// TestGreedySelectionTable pins the selection heuristic's edge cases:
+// deterministic tie-breaking, isolated neighbourhoods and willingness
+// filtering interacting with the mandatory sole-via step.
+func TestGreedySelectionTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		nbs   map[string][]string
+		wills map[string]uint8
+		want  []string
+	}{
+		{
+			name: "equal score breaks ties by lowest address",
+			nbs: map[string][]string{
+				"10.0.0.9": {"10.0.1.1"},
+				"10.0.0.2": {"10.0.1.1"},
+				"10.0.0.5": {"10.0.1.1"},
+			},
+			want: []string{"10.0.0.2"},
+		},
+		{
+			name: "equal coverage prefers higher willingness",
+			nbs: map[string][]string{
+				"10.0.0.2": {"10.0.1.1"},
+				"10.0.0.3": {"10.0.1.1"},
+			},
+			wills: map[string]uint8{"10.0.0.2": 3, "10.0.0.3": 6},
+			want:  []string{"10.0.0.3"},
+		},
+		{
+			name: "coverage dominates willingness in the default scorer",
+			nbs: map[string][]string{
+				"10.0.0.2": {"10.0.1.1", "10.0.1.2"},
+				"10.0.0.3": {"10.0.1.1"},
+			},
+			wills: map[string]uint8{"10.0.0.2": 1, "10.0.0.3": 7},
+			want:  []string{"10.0.0.2"},
+		},
+		{
+			name: "isolated neighbours need no relays",
+			nbs: map[string][]string{
+				"10.0.0.2": {},
+				"10.0.0.3": {},
+			},
+			want: []string{},
+		},
+		{
+			name: "no selection at all without neighbours",
+			nbs:  map[string][]string{},
+			want: []string{},
+		},
+		{
+			name: "two-hop node reachable only via unwilling relays is skipped",
+			nbs: map[string][]string{
+				"10.0.0.2": {"10.0.1.1"},
+				"10.0.0.3": {"10.0.1.1"},
+			},
+			wills: map[string]uint8{"10.0.0.2": 0, "10.0.0.3": 0},
+			want:  []string{},
+		},
+		{
+			name: "sole-via step ignores WILL_NEVER alternatives",
+			nbs: map[string][]string{
+				"10.0.0.2": {"10.0.1.1"},
+				"10.0.0.3": {"10.0.1.1"},
+			},
+			wills: map[string]uint8{"10.0.0.2": 0, "10.0.0.3": 3},
+			want:  []string{"10.0.0.3"},
+		},
+		{
+			name: "mandatory sole-via beats a better-scoring rival",
+			nbs: map[string][]string{
+				"10.0.0.2": {"10.0.1.1", "10.0.1.2", "10.0.1.3"},
+				"10.0.0.3": {"10.0.1.4"},
+			},
+			wills: map[string]uint8{"10.0.0.2": 7, "10.0.0.3": 1},
+			want:  []string{"10.0.0.2", "10.0.0.3"},
+		},
+	}
+	self := addr("10.0.0.1")
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			sel := NewGreedyCalculator().Select(self, buildLinks(tc.nbs, tc.wills))
+			got := make([]string, len(sel))
+			for i, a := range sel {
+				got[i] = a.String()
+			}
+			want := tc.want
+			if len(got) != len(want) {
+				t.Fatalf("Select() = %v, want %v", got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Select() = %v, want %v", got, want)
+				}
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"manetkit/internal/core"
 	"manetkit/internal/event"
+	"manetkit/internal/metrics"
 	"manetkit/internal/mnet"
 	"manetkit/internal/mpr"
 	"manetkit/internal/neighbor"
@@ -64,6 +65,13 @@ type OLSR struct {
 	m     *mpr.MPR
 	state *State
 	cfg   Config
+
+	// Instruments, resolved from the deployment's registry on Start; nil
+	// (no-op) when the deployment carries no metrics.
+	mTCTx      *metrics.Counter // TC emissions (periodic + triggered)
+	mTCRx      *metrics.Counter // TCs accepted from symmetric neighbours
+	mTCFwd     *metrics.Counter // MPR-optimised flood forwards
+	mMPRChange *metrics.Counter // triggered advertised-set changes
 }
 
 // New builds an OLSR CF using the given MPR CF for link sensing, relay
@@ -114,6 +122,14 @@ func New(name string, relay *mpr.MPR, cfg Config) *OLSR {
 	if err := o.proto.AddSource(core.NewSource("topo-sweep", cfg.TCInterval/5, 0, o.sweep)); err != nil {
 		panic(err)
 	}
+	o.proto.OnStart(func(ctx *core.Context) error {
+		reg := ctx.Env().Metrics()
+		o.mTCTx = reg.Counter("olsr_tc_tx")
+		o.mTCRx = reg.Counter("olsr_tc_rx")
+		o.mTCFwd = reg.Counter("olsr_tc_fwd")
+		o.mMPRChange = reg.Counter("olsr_mpr_changes")
+		return nil
+	})
 	o.proto.OnStop(func(ctx *core.Context) error {
 		o.state.Routes.Clear()
 		return nil
@@ -159,6 +175,7 @@ func (o *OLSR) emitTC(ctx *core.Context) {
 	}
 	msg := o.BuildTC(ctx.Node())
 	o.m.Flooder().Seen(ctx.Node(), msg.SeqNum, ctx.Clock().Now())
+	o.mTCTx.Inc()
 	ctx.Emit(&event.Event{Type: event.TCOut, Msg: msg, Dst: mnet.Broadcast})
 }
 
@@ -178,6 +195,7 @@ func (o *OLSR) onTC(ctx *core.Context, ev *event.Event) error {
 	if nb, ok := o.m.State().Links.Get(ev.Src); !ok || nb.Status != neighbor.StatusSymmetric {
 		return nil
 	}
+	o.mTCRx.Inc()
 	ansn := uint16(0)
 	if tlv, ok := msg.FindTLV(packetbb.TLVANSN); ok {
 		if v, err := packetbb.ParseU16(tlv.Value); err == nil {
@@ -205,6 +223,7 @@ func (o *OLSR) onTC(ctx *core.Context, ev *event.Event) error {
 		fwd := msg.Clone()
 		fwd.HopLimit--
 		fwd.HopCount++
+		o.mTCFwd.Inc()
 		ctx.Emit(&event.Event{Type: event.TCOut, Msg: fwd, Dst: mnet.Broadcast})
 	}
 	return nil
@@ -219,9 +238,11 @@ func (o *OLSR) onMPRChange(ctx *core.Context, ev *event.Event) error {
 	// The advertised (selector) set changed: bump ANSN and send a
 	// triggered TC so topology propagates ahead of the periodic timer.
 	o.state.BumpANSN()
+	o.mMPRChange.Inc()
 	if len(o.m.State().Selectors()) > 0 {
 		msg := o.BuildTC(ctx.Node())
 		o.m.Flooder().Seen(ctx.Node(), msg.SeqNum, ctx.Clock().Now())
+		o.mTCTx.Inc()
 		ctx.Emit(&event.Event{Type: event.TCOut, Msg: msg, Dst: mnet.Broadcast})
 	}
 	o.recompute(ctx)

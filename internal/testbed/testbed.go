@@ -10,9 +10,11 @@ import (
 
 	"manetkit/internal/core"
 	"manetkit/internal/emunet"
+	"manetkit/internal/metrics"
 	"manetkit/internal/mnet"
 	"manetkit/internal/route"
 	"manetkit/internal/system"
+	"manetkit/internal/trace"
 	"manetkit/internal/vclock"
 )
 
@@ -42,6 +44,13 @@ type Options struct {
 	BatteryTemplate *system.Battery
 	// SystemConfig tweaks each node's System CF; NIC is filled in.
 	SystemConfig func(addr mnet.Addr, cfg *system.Config)
+	// Metrics, when non-nil, is shared by the medium and every node's
+	// Framework Manager (one registry per cluster).
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, records structured spans from the medium and
+	// every node; under the cluster's virtual clock the trace is
+	// byte-identical run to run for the same seed.
+	Tracer *trace.Tracer
 }
 
 // Cluster is a set of co-emulated MANETKit nodes on one virtual clock.
@@ -66,6 +75,12 @@ func New(n int, opts Options) (*Cluster, error) {
 	}
 	clk := vclock.NewVirtual(Epoch)
 	net := emunet.New(clk, opts.Seed)
+	if opts.Metrics != nil {
+		net.SetMetrics(opts.Metrics)
+	}
+	if opts.Tracer != nil {
+		net.SetTracer(opts.Tracer)
+	}
 	c := &Cluster{Clock: clk, Net: net, opts: opts}
 	for _, addr := range emunet.Addrs(n) {
 		node, err := c.AddNode(addr)
@@ -85,7 +100,10 @@ func (c *Cluster) AddNode(addr mnet.Addr) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
-	mgr, err := core.NewManager(core.Config{Node: addr, Clock: c.Clock, Model: c.opts.Model})
+	mgr, err := core.NewManager(core.Config{
+		Node: addr, Clock: c.Clock, Model: c.opts.Model,
+		Metrics: c.opts.Metrics, Tracer: c.opts.Tracer,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
@@ -119,6 +137,12 @@ func (c *Cluster) Addrs() []mnet.Addr {
 
 // Node returns the node at index i.
 func (c *Cluster) Node(i int) *Node { return c.Nodes[i] }
+
+// Metrics returns the cluster's shared registry (nil when not configured).
+func (c *Cluster) Metrics() *metrics.Registry { return c.opts.Metrics }
+
+// Tracer returns the cluster's shared tracer (nil when not configured).
+func (c *Cluster) Tracer() *trace.Tracer { return c.opts.Tracer }
 
 // Line links the nodes into the paper's linear chain topology.
 func (c *Cluster) Line() error { return emunet.BuildLine(c.Net, c.Addrs(), c.opts.LinkQuality) }

@@ -184,3 +184,81 @@ func qualityOf(c *testbed.Cluster) emunet.Quality {
 	_ = c
 	return emunet.DefaultQuality()
 }
+
+// TestZeroRadiusZone is the degenerate-zone case: an isolated node has no
+// symmetric neighbours, so its zone is empty and nothing is reachable
+// proactively. A send must go through the full IERP discovery and give up
+// cleanly — never an intrazone hit, never a route.
+func TestZeroRadiusZone(t *testing.T) {
+	// Two nodes, deliberately never linked.
+	c, nodes := deployZRP(t, 2, Config{RREQWait: 500 * time.Millisecond, RREQTries: 2})
+	c.Run(6 * time.Second)
+
+	if got := nodes[0].zrp.Routes().ValidCount(); got != 0 {
+		t.Fatalf("isolated node has %d zone routes, want 0", got)
+	}
+	if err := nodes[0].node.Sys.Filter().SendData(c.Addrs()[1], []byte("void")); err != nil {
+		t.Fatal(err)
+	}
+	// Past both attempts (500ms + 1s backoff).
+	c.Run(3 * time.Second)
+
+	st := nodes[0].zrp.State().Stats()
+	if st.IntrazoneHits != 0 {
+		t.Fatalf("empty zone produced an intrazone hit: %+v", st)
+	}
+	if st.Discoveries != 1 || st.GiveUps != 1 {
+		t.Fatalf("discovery did not run to give-up: %+v", st)
+	}
+	if st.Retries != 1 {
+		t.Fatalf("retries = %d, want 1 (RREQTries=2)", st.Retries)
+	}
+	if got := nodes[0].zrp.Routes().ValidCount(); got != 0 {
+		t.Fatalf("give-up left %d routes", got)
+	}
+}
+
+// TestBorderlessZone is the opposite degenerate case: on a clique every
+// node is inside every other node's zone, so the network has no zone
+// border at all — routing is purely proactive and IERP never fires.
+func TestBorderlessZone(t *testing.T) {
+	c, nodes := deployZRP(t, 4, Config{})
+	if err := c.Clique(); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(6 * time.Second)
+
+	for i, zn := range nodes {
+		if got := zn.zrp.Routes().ValidCount(); got != 3 {
+			t.Fatalf("node %d has %d zone routes, want 3", i, got)
+		}
+	}
+	var mu sync.Mutex
+	delivered := 0
+	for _, zn := range nodes[1:] {
+		zn.node.Sys.Filter().OnDeliver(func(mnet.Addr, []byte) {
+			mu.Lock()
+			delivered++
+			mu.Unlock()
+		})
+	}
+	for _, dst := range c.Addrs()[1:] {
+		if err := nodes[0].node.Sys.Filter().SendData(dst, []byte("borderless")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(time.Second)
+
+	mu.Lock()
+	got := delivered
+	mu.Unlock()
+	if got != 3 {
+		t.Fatalf("delivered = %d, want 3", got)
+	}
+	for i, zn := range nodes {
+		st := zn.zrp.State().Stats()
+		if st.Discoveries != 0 || st.ZoneAnswers != 0 || st.TerminalAnswers != 0 {
+			t.Fatalf("node %d ran IERP machinery on a borderless network: %+v", i, st)
+		}
+	}
+}

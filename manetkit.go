@@ -34,12 +34,14 @@ import (
 	"manetkit/internal/emunet"
 	"manetkit/internal/event"
 	"manetkit/internal/invariant"
+	"manetkit/internal/metrics"
 	"manetkit/internal/mnet"
 	"manetkit/internal/mpr"
 	"manetkit/internal/neighbor"
 	"manetkit/internal/olsr"
 	"manetkit/internal/policy"
 	"manetkit/internal/system"
+	"manetkit/internal/trace"
 	"manetkit/internal/vclock"
 	"manetkit/internal/zrp"
 )
@@ -106,6 +108,15 @@ type (
 	InvariantSuite = invariant.Suite
 	// SeqWatcher is the live monotonic-sequence-number invariant.
 	SeqWatcher = invariant.SeqWatcher
+	// MetricsRegistry is the hot-path counter/gauge/histogram registry;
+	// a nil registry is a valid no-op (zero-overhead disabled path).
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of every instrument.
+	MetricsSnapshot = metrics.Snapshot
+	// Tracer is the per-cluster structured-event ring buffer.
+	Tracer = trace.Tracer
+	// Span is one traced event (emit, dispatch, handle, frame-tx, ...).
+	Span = trace.Span
 )
 
 // NewFaultPlan starts an empty seeded fault schedule.
@@ -118,6 +129,15 @@ func NewSeqWatcher() *SeqWatcher { return invariant.NewSeqWatcher() }
 // DefaultInvariants returns the standard protocol invariants: no routing
 // loops, route liveness, neighbour-table symmetry.
 func DefaultInvariants() *InvariantSuite { return invariant.DefaultSuite() }
+
+// NewMetricsRegistry builds an instrument registry; share one per cluster
+// and pass it via StackOptions.Metrics and Network.SetMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewTracer builds a structured-event tracer with a bounded ring buffer
+// (capacity 0 = default). Epoch anchors relative timestamps; use the
+// virtual clock's start time for deterministic traces.
+func NewTracer(epoch time.Time, capacity int) *Tracer { return trace.New(epoch, capacity) }
 
 // Concurrency models (§4.4 of the paper).
 const (
@@ -172,6 +192,13 @@ type StackOptions struct {
 	Battery *Battery
 	// SensorInterval is the context sensor period (default 1s).
 	SensorInterval time.Duration
+	// Metrics, when non-nil, receives the node's hot-path counters; share
+	// one registry across a cluster (and Network.SetMetrics) for a global
+	// view. Nil disables metrics at zero cost.
+	Metrics *MetricsRegistry
+	// Tracer, when non-nil, records structured spans from the node's
+	// dispatch path. Nil disables tracing at zero cost.
+	Tracer *Tracer
 }
 
 // OLSRConfig parameterises an OLSR deployment.
@@ -214,7 +241,10 @@ func NewStack(net *Network, addr Addr, opts StackOptions) (*Stack, error) {
 	if err != nil {
 		return nil, fmt.Errorf("manetkit: %w", err)
 	}
-	mgr, err := core.NewManager(core.Config{Node: addr, Clock: net.Clock(), Model: opts.Model})
+	mgr, err := core.NewManager(core.Config{
+		Node: addr, Clock: net.Clock(), Model: opts.Model,
+		Metrics: opts.Metrics, Tracer: opts.Tracer,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("manetkit: %w", err)
 	}
@@ -587,7 +617,10 @@ func (s *Stack) SubscribeContext(pattern EventType, fn func(*Event)) {
 // flowing through this stack (the framework-level packet capture). It
 // returns the unit so it can be undeployed by name.
 func (s *Stack) Sniff(name string, fn func(*Event)) (*Protocol, error) {
-	sniffer := core.NewSniffer(name, fn)
+	sniffer, err := core.NewSniffer(name, fn)
+	if err != nil {
+		return nil, err
+	}
 	if err := s.mgr.Deploy(sniffer); err != nil {
 		return nil, err
 	}
