@@ -22,6 +22,17 @@
 //
 //	mkemu -proto dymo -metrics -trace trace.jsonl
 //	mkemu -proto olsr -duration 5m -http localhost:6060
+//
+// Introspection: -graph writes the final architecture meta-model (nodes ×
+// units × event bindings) as Graphviz DOT, -paths reconstructs the causal
+// packet paths (route-discovery flood trees, reply chains, data forwards
+// with per-hop latency) from the trace, and -health writes the per-unit
+// watchdog report. With -http, the live deployment also serves /graph,
+// /health and /paths:
+//
+//	mkemu -proto aodv -graph arch.dot -paths
+//	mkemu -proto olsr -chaos storm -graph arch.dot -health health.txt
+//	mkemu -proto dymo -duration 5m -http localhost:6060   # then GET /graph
 package main
 
 import (
@@ -58,12 +69,16 @@ func main() {
 	httpAddr := flag.String("http", "", "serve /debug/vars and /debug/pprof on this address during the run")
 	chaos := flag.String("chaos", "", "run a fault scenario instead of the traffic workload: "+
 		strings.Join(harness.Scenarios(), ", "))
+	graphOut := flag.String("graph", "", "write the final architecture meta-model as Graphviz DOT to this file")
+	showPaths := flag.Bool("paths", false, "reconstruct and print the causal packet paths after the run (implies tracing)")
+	healthOut := flag.String("health", "", "write the final per-unit health report to this file")
 	flag.Parse()
 
 	var tracer *manetkit.Tracer
-	if *traceOut != "" {
+	if *traceOut != "" || *showPaths {
 		tracer = manetkit.NewTracer(epoch, 0)
 	}
+	insp := introspection{graphOut: *graphOut, healthOut: *healthOut, showPaths: *showPaths}
 	if *httpAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
@@ -74,18 +89,41 @@ func main() {
 
 	var err error
 	if *chaos != "" {
-		err = runChaos(*proto, *chaos, *nodes, *seed, *traffic, *showMetrics, tracer)
+		err = runChaos(*proto, *chaos, *nodes, *seed, *traffic, *showMetrics, tracer, insp)
 	} else {
 		err = run(*nodes, *topology, *proto, *duration, *traffic,
-			*fisheye, *multipath, *mobility, *seed, *loss, *showMetrics, *httpAddr != "", tracer)
+			*fisheye, *multipath, *mobility, *seed, *loss, *showMetrics, *httpAddr != "", tracer, insp)
 	}
-	if err == nil && tracer != nil {
+	if err == nil && tracer != nil && *traceOut != "" {
 		err = writeTrace(tracer, *traceOut)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mkemu: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// introspection collects the -graph / -health / -paths outputs.
+type introspection struct {
+	graphOut  string
+	healthOut string
+	showPaths bool
+}
+
+// writeFile writes one introspection artifact and logs where it went.
+func writeFile(path, kind, content string) error {
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s:  %s\n", kind, path)
+	return nil
+}
+
+// printPaths renders the reconstructed causal packet paths from the trace.
+func printPaths(tracer *manetkit.Tracer) {
+	paths := manetkit.CorrelatePaths(tracer.Spans())
+	fmt.Printf("paths:   %d correlated messages\n", len(paths))
+	fmt.Print(manetkit.RenderPacketPaths(paths, 20))
 }
 
 // writeTrace dumps the recorded spans as JSONL and prints the trace
@@ -110,7 +148,7 @@ func writeTrace(tracer *manetkit.Tracer, path string) error {
 // runChaos executes one scripted fault scenario and reports whether the
 // protocol invariants held. Violations exit non-zero.
 func runChaos(proto, scenario string, nodes int, seed int64, traffic int,
-	showMetrics bool, tracer *manetkit.Tracer) error {
+	showMetrics bool, tracer *manetkit.Tracer, insp introspection) error {
 	report, err := harness.RunChaos(harness.ChaosConfig{
 		Proto:    proto,
 		Scenario: scenario,
@@ -124,6 +162,22 @@ func runChaos(proto, scenario string, nodes int, seed int64, traffic int,
 	}
 	fmt.Print(report.Summary())
 	_ = showMetrics // chaos summaries always include the metric snapshot
+	if n := len(report.Journal); n > 0 {
+		fmt.Printf("journal: %d reconfigurations recorded\n", n)
+	}
+	if insp.graphOut != "" {
+		if err := writeFile(insp.graphOut, "graph", report.Arch.DOT()); err != nil {
+			return err
+		}
+	}
+	if insp.healthOut != "" {
+		if err := writeFile(insp.healthOut, "health", report.Health.String()); err != nil {
+			return err
+		}
+	}
+	if insp.showPaths && tracer != nil {
+		printPaths(tracer)
+	}
 	if !report.OK() {
 		return fmt.Errorf("%d invariant violations", len(report.Violations)+len(report.SeqViolations))
 	}
@@ -132,7 +186,7 @@ func runChaos(proto, scenario string, nodes int, seed int64, traffic int,
 
 func run(nodes int, topology, proto string, duration time.Duration, traffic int,
 	fisheye, multipath, mobility bool, seed int64, loss float64,
-	showMetrics, serveHTTP bool, tracer *manetkit.Tracer) error {
+	showMetrics, serveHTTP bool, tracer *manetkit.Tracer, insp introspection) error {
 	if nodes < 2 {
 		return fmt.Errorf("need at least 2 nodes")
 	}
@@ -150,7 +204,10 @@ func run(nodes int, topology, proto string, duration time.Duration, traffic int,
 		net.SetTracer(tracer)
 	}
 	addrs := manetkit.Addrs(nodes)
-	stacks, err := manetkit.NewStacks(net, addrs, manetkit.StackOptions{Metrics: reg, Tracer: tracer})
+	journal := manetkit.NewRewireJournal(epoch)
+	stacks, err := manetkit.NewStacks(net, addrs, manetkit.StackOptions{
+		Metrics: reg, Tracer: tracer, Journal: journal,
+	})
 	if err != nil {
 		return err
 	}
@@ -216,6 +273,29 @@ func run(nodes int, topology, proto string, duration time.Duration, traffic int,
 		}
 	}
 	fmt.Printf("deployed %s on %d nodes (%s topology)\n", proto, nodes, topology)
+
+	monitor := manetkit.NewHealthMonitor(epoch, reg, manetkit.HealthConfig{})
+	for _, s := range stacks {
+		monitor.Watch(manetkit.HealthTarget{Mgr: s.Manager(), Tables: s.RouteTables()})
+	}
+	if serveHTTP {
+		// Live introspection endpoints next to /debug/vars and /debug/pprof.
+		// Every underlying accessor is mutex-guarded, so serving while the
+		// emulation advances is safe (the virtual clock keeps running).
+		http.HandleFunc("/graph", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, manetkit.CaptureArch(stacks...).DOT())
+		})
+		http.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, monitor.Check(clk.Now()).String())
+		})
+		http.HandleFunc("/paths", func(w http.ResponseWriter, r *http.Request) {
+			if tracer == nil {
+				http.Error(w, "tracing disabled: run mkemu with -trace or -paths", http.StatusNotFound)
+				return
+			}
+			fmt.Fprint(w, manetkit.RenderPacketPaths(manetkit.CorrelatePaths(tracer.Spans()), 50))
+		})
+	}
 
 	if mobility {
 		// The last node drifts out of range a third into the run and comes
@@ -294,6 +374,22 @@ func run(nodes int, topology, proto string, duration time.Duration, traffic int,
 		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if n := journal.Len(); n > 0 {
+		fmt.Printf("journal: %d reconfigurations recorded\n", n)
+	}
+	if insp.graphOut != "" {
+		if err := writeFile(insp.graphOut, "graph", manetkit.CaptureArch(stacks...).DOT()); err != nil {
+			return err
+		}
+	}
+	if insp.healthOut != "" {
+		if err := writeFile(insp.healthOut, "health", monitor.Check(clk.Now()).String()); err != nil {
+			return err
+		}
+	}
+	if insp.showPaths && tracer != nil {
+		printPaths(tracer)
 	}
 	return nil
 }

@@ -127,6 +127,12 @@ type Manager struct {
 	closed   bool
 	sealed   bool
 
+	// rewireHook, when set, runs after every topology re-derivation (and
+	// after concurrency-model switches), outside m.mu so it can re-enter
+	// the manager's reflective accessors — the attachment point for the
+	// inspect package's rewire journal.
+	rewireHook func()
+
 	workers  *pool.Pool
 	poolSize int
 	qBound   int
@@ -214,14 +220,19 @@ func (m *Manager) SetModel(mod Model) error {
 		return fmt.Errorf("core: unknown concurrency model %d", mod)
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.model = mod
 	if mod == PerN && m.workers == nil {
 		p, err := pool.New(m.poolSize, 0)
 		if err != nil {
+			m.mu.Unlock()
 			return err
 		}
 		m.workers = p
+	}
+	hook := m.rewireHook
+	m.mu.Unlock()
+	if hook != nil {
+		hook()
 	}
 	return nil
 }
@@ -373,8 +384,33 @@ func (m *Manager) DisableDedicatedThread(name string) error {
 // — the automatic, declarative reconfiguration of §4.2/§4.5.
 func (m *Manager) Rewire() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.rewireLocked()
+	hook := m.rewireHook
+	m.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+// SetRewireHook installs fn to run after every topology re-derivation
+// triggered through Rewire (Deploy, Undeploy and tuple changes all funnel
+// through it) and after SetModel. fn runs outside the manager's internal
+// lock, so it may call the reflective accessors (Units, Unit, Model, CF,
+// DedicatedThread) — the inspect package uses this to journal every
+// reconfiguration as a snapshot diff. Passing nil removes the hook.
+func (m *Manager) SetRewireHook(fn func()) {
+	m.mu.Lock()
+	m.rewireHook = fn
+	m.mu.Unlock()
+}
+
+// DedicatedThread reports whether the named unit currently runs the
+// thread-per-ManetProtocol model (reflective, for tooling).
+func (m *Manager) DedicatedThread(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.units[name]
+	return ok && rec.dedicated != nil
 }
 
 func (m *Manager) rewireLocked() {
@@ -521,7 +557,7 @@ func (m *Manager) emit(from string, ev *event.Event) {
 		if m.obs.tracer != nil {
 			m.obs.tracer.Record(m.clk.Now(), trace.Span{
 				Node: m.obs.nodeStr, Kind: trace.KindEmit,
-				Event: string(ev.Type), From: from,
+				Event: string(ev.Type), From: from, Corr: ev.Corr,
 			})
 		}
 	}
@@ -536,7 +572,7 @@ func (m *Manager) emit(from string, ev *event.Event) {
 			if m.obs.tracer != nil {
 				m.obs.tracer.Record(m.clk.Now(), trace.Span{
 					Node: m.obs.nodeStr, Kind: trace.KindDrop,
-					Event: string(ev.Type), From: from,
+					Event: string(ev.Type), From: from, Corr: ev.Corr,
 				})
 			}
 		}
@@ -593,7 +629,7 @@ func (m *Manager) emit(from string, ev *event.Event) {
 			if m.obs.tracer != nil {
 				m.obs.tracer.Record(m.clk.Now(), trace.Span{
 					Node: m.obs.nodeStr, Kind: trace.KindDrop,
-					Event: string(ev.Type), From: from,
+					Event: string(ev.Type), From: from, Corr: ev.Corr,
 				})
 			}
 		}
@@ -631,7 +667,7 @@ func (m *Manager) deliverBatch(from string, targets []*unitRec, ev *event.Event,
 					m.obs.tracer.Record(m.clk.Now(), trace.Span{
 						Node: m.obs.nodeStr, Kind: trace.KindDispatch,
 						Event: string(ev.Type), From: from, To: rec.unit.Name(),
-						QDepth: d.q.Len(),
+						Corr: ev.Corr, QDepth: d.q.Len(),
 					})
 				}
 				m.mu.Lock()
@@ -642,7 +678,7 @@ func (m *Manager) deliverBatch(from string, targets []*unitRec, ev *event.Event,
 				m.obs.tracer.Record(m.clk.Now(), trace.Span{
 					Node: m.obs.nodeStr, Kind: trace.KindDispatch,
 					Event: string(ev.Type), From: from, To: rec.unit.Name(),
-					QDepth: m.inlineQ.Len(),
+					Corr: ev.Corr, QDepth: m.inlineQ.Len(),
 				})
 			}
 		}
@@ -692,7 +728,7 @@ func (m *Manager) deliver(from string, rec *unitRec, ev *event.Event, model Mode
 			m.obs.tracer.Record(m.clk.Now(), trace.Span{
 				Node: m.obs.nodeStr, Kind: trace.KindDispatch,
 				Event: string(ev.Type), From: from, To: rec.unit.Name(),
-				QDepth: qdepth,
+				Corr: ev.Corr, QDepth: qdepth,
 			})
 		}
 	}

@@ -605,6 +605,15 @@ func (p *Protocol) Stop() {
 // Started reports whether the protocol is running.
 func (p *Protocol) Started() bool { return p.running() }
 
+// Tracing reports whether the deployment this protocol is attached to
+// records trace spans — the gate for optional per-message work (such as
+// correlation-ID derivation) that only pays off when a tracer will see it.
+func (p *Protocol) Tracing() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.env != nil && p.env.tracer != nil
+}
+
 // Clock returns the deployment clock, or nil before the protocol is
 // deployed.
 func (p *Protocol) Clock() vclock.Clock {
@@ -676,6 +685,7 @@ func (p *Protocol) Accept(ev *event.Event) error {
 			obs.tracer.Record(env.Clock.Now(), trace.Span{
 				Node: obs.nodeStr, Kind: trace.KindHandle,
 				Event: string(ev.Type), To: p.Name(), Handler: h.Name(),
+				Corr: ev.Corr,
 			})
 		}
 		var err error

@@ -78,10 +78,17 @@ func (e *Env) Metrics() *metrics.Registry { return e.metrics }
 func (e *Env) Tracer() *trace.Tracer { return e.tracer }
 
 // Emit routes ev from the unit named from through the Framework Manager's
-// binding topology.
+// binding topology. When tracing is enabled and the event carries a
+// PacketBB message without an explicit correlation ID (forwarded or
+// received messages), the ID is derived here from the message identity so
+// every span downstream carries it; the tracer gate keeps the disabled
+// path allocation-free.
 func (e *Env) Emit(from string, ev *event.Event) {
 	if ev.Time.IsZero() {
 		ev.Time = e.Clock.Now()
+	}
+	if e.tracer != nil && ev.Corr == "" && ev.Msg != nil {
+		ev.Corr = ev.Msg.CorrID()
 	}
 	e.emit(from, ev)
 }

@@ -98,7 +98,7 @@ func TestDeterministicReplay(t *testing.T) {
 // the seed-7 chaos run: every tx/rx/drop on the faulty medium, in order.
 // Update it (from the failure message) only when a change intentionally
 // alters medium behaviour.
-const goldenFrameFingerprint = "b9399eb3795e1444"
+const goldenFrameFingerprint = "75004474acac8156"
 
 // frameTraceRun repeats the seed-7 chaos run with the structured tracer on
 // the medium and returns the tracer.

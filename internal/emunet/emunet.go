@@ -39,6 +39,11 @@ type Frame struct {
 	// decoder robustness is exercised, and diagnostic taps (which model
 	// capture above the MAC) can use this bit to ignore mangled frames.
 	Corrupted bool
+	// Corr is the message correlation ID of the payload (empty when the
+	// sender did not tag the frame). It exists only in the emulator — real
+	// radios carry no such field — so the frame-rx trace span on the
+	// receiving node can be stitched to the frame-tx span on the sender.
+	Corr string
 }
 
 // Quality describes one directed link.
@@ -280,7 +285,7 @@ func (n *Network) ScheduleAt(d time.Duration, fn func(*Network)) {
 }
 
 // send performs the medium's half of a transmission from src.
-func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device string) {
+func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device, corr string) {
 	n.mu.Lock()
 	n.stats.TxFrames++
 	n.stats.TxBytes += uint64(len(payload))
@@ -289,7 +294,7 @@ func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device stri
 		if n.obs.tracer != nil {
 			n.obs.tracer.Record(n.clock.Now(), trace.Span{
 				Node: src.String(), Kind: trace.KindFrameTx,
-				To: traceTo(dst), Bytes: len(payload),
+				To: traceTo(dst), Corr: corr, Bytes: len(payload),
 			})
 		}
 	}
@@ -320,7 +325,7 @@ func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device stri
 				if n.obs.tracer != nil {
 					n.obs.tracer.Record(n.clock.Now(), trace.Span{
 						Node: src.String(), Kind: trace.KindFrameDrop,
-						Event: "no-link", To: dst.String(), Bytes: len(payload),
+						Event: "no-link", To: dst.String(), Corr: corr, Bytes: len(payload),
 					})
 				}
 			}
@@ -346,13 +351,13 @@ func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device stri
 				if n.obs.tracer != nil {
 					n.obs.tracer.Record(n.clock.Now(), trace.Span{
 						Node: src.String(), Kind: trace.KindFrameDrop,
-						Event: "loss", To: d.nic.addr.String(), Bytes: len(buf),
+						Event: "loss", To: d.nic.addr.String(), Corr: corr, Bytes: len(buf),
 					})
 				}
 			}
 			continue
 		}
-		frame := Frame{Src: src, Dst: dst, Payload: buf, Device: device, RSSI: d.q.SignalDBm}
+		frame := Frame{Src: src, Dst: dst, Payload: buf, Device: device, RSSI: d.q.SignalDBm, Corr: corr}
 		delay := d.q.Delay
 		if n.inj != nil {
 			extras := n.inj.injectLocked(n, d.nic.addr, &frame, &delay)
@@ -405,6 +410,12 @@ func (c *NIC) SetReceiver(fn func(Frame)) {
 // Send transmits payload to dst (unicast or mnet.Broadcast). The send is
 // fire-and-forget, like a radio: absence of a link loses the frame.
 func (c *NIC) Send(dst mnet.Addr, payload []byte) error {
+	return c.SendTagged(dst, payload, "")
+}
+
+// SendTagged is Send with a message correlation ID attached to the frame
+// and its trace spans; "" is equivalent to Send.
+func (c *NIC) SendTagged(dst mnet.Addr, payload []byte, corr string) error {
 	c.mu.Lock()
 	if c.detached {
 		c.mu.Unlock()
@@ -412,7 +423,7 @@ func (c *NIC) Send(dst mnet.Addr, payload []byte) error {
 	}
 	c.tx++
 	c.mu.Unlock()
-	c.net.send(c.addr, dst, payload, c.device)
+	c.net.send(c.addr, dst, payload, c.device, corr)
 	return nil
 }
 
@@ -420,8 +431,14 @@ func (c *NIC) Send(dst mnet.Addr, payload []byte) error {
 // feedback (the 802.11 ACK analogue) through cb once the frame is delivered
 // or known lost. Broadcast destinations receive no feedback (as in 802.11).
 func (c *NIC) SendWithFeedback(dst mnet.Addr, payload []byte, cb func(delivered bool)) error {
+	return c.SendWithFeedbackTagged(dst, payload, "", cb)
+}
+
+// SendWithFeedbackTagged is SendWithFeedback with a message correlation ID
+// attached to the frame and its trace spans.
+func (c *NIC) SendWithFeedbackTagged(dst mnet.Addr, payload []byte, corr string, cb func(delivered bool)) error {
 	if dst.IsBroadcast() {
-		if err := c.Send(dst, payload); err != nil {
+		if err := c.SendTagged(dst, payload, corr); err != nil {
 			return err
 		}
 		return nil
@@ -443,7 +460,7 @@ func (c *NIC) SendWithFeedback(dst mnet.Addr, payload []byte, cb func(delivered 
 		if n.obs.tracer != nil {
 			n.obs.tracer.Record(n.clock.Now(), trace.Span{
 				Node: c.addr.String(), Kind: trace.KindFrameTx,
-				To: dst.String(), Bytes: len(payload),
+				To: dst.String(), Corr: corr, Bytes: len(payload),
 			})
 		}
 	}
@@ -469,7 +486,7 @@ func (c *NIC) SendWithFeedback(dst mnet.Addr, payload []byte, cb func(delivered 
 		}
 		n.obs.tracer.Record(n.clock.Now(), trace.Span{
 			Node: c.addr.String(), Kind: trace.KindFrameDrop,
-			Event: reason, To: dst.String(), Bytes: len(payload),
+			Event: reason, To: dst.String(), Corr: corr, Bytes: len(payload),
 		})
 	}
 	var frame Frame
@@ -479,7 +496,7 @@ func (c *NIC) SendWithFeedback(dst mnet.Addr, payload []byte, cb func(delivered 
 		// (only — duplication and reordering are suppressed by the 802.11
 		// ACK exchange this path models) may still mangle it in flight.
 		frame = Frame{Src: c.addr, Dst: dst, Payload: append([]byte(nil), payload...),
-			Device: c.device, RSSI: q.SignalDBm}
+			Device: c.device, RSSI: q.SignalDBm, Corr: corr}
 		if n.inj != nil {
 			n.inj.corruptOnlyLocked(n, dst, &frame)
 		}
@@ -524,7 +541,7 @@ func (c *NIC) deliver(f Frame) {
 		if n.obs.tracer != nil {
 			n.obs.tracer.Record(n.clock.Now(), trace.Span{
 				Node: c.addr.String(), Kind: trace.KindFrameRx,
-				From: f.Src.String(), Bytes: len(f.Payload),
+				From: f.Src.String(), Corr: f.Corr, Bytes: len(f.Payload),
 			})
 		}
 	}

@@ -77,6 +77,12 @@ type Event struct {
 	Device string
 	// Time stamps the event's creation on the deployment's clock.
 	Time time.Time
+	// Corr is the message correlation ID carried into trace spans so a
+	// message's journey can be stitched across nodes (internal/inspect).
+	// Protocols stamp it at message origination (Message.CorrID); the
+	// framework back-fills it from Msg for forwarded/received events when
+	// tracing is enabled.
+	Corr string
 
 	// Typed context payloads; nil unless the event type calls for them.
 	Nhood *NhoodPayload

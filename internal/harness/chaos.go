@@ -24,6 +24,7 @@ import (
 	"manetkit/internal/core"
 	"manetkit/internal/emunet"
 	"manetkit/internal/event"
+	"manetkit/internal/inspect"
 	"manetkit/internal/invariant"
 	"manetkit/internal/metrics"
 	"manetkit/internal/mnet"
@@ -131,6 +132,18 @@ type ChaosReport struct {
 	// breaches observed during the run. Both empty on a healthy run.
 	Violations    []invariant.Violation
 	SeqViolations []invariant.Violation
+
+	// Arch is the architecture meta-model snapshot at the end of the run
+	// (mkemu -graph; uploaded as a CI artifact). Deliberately outside the
+	// fingerprint: it is itself covered by the snapshot determinism tests.
+	Arch inspect.Snapshot
+	// Health is the final watchdog report over queues, dispatch progress,
+	// route staleness and neighbour churn.
+	Health inspect.Report
+	// Journal is the rewire journal of the whole run: every deploy and the
+	// coordinated reconfiguration's sniffer insertion appear as timestamped
+	// snapshot diffs.
+	Journal []inspect.Entry
 }
 
 // OK reports whether every invariant held.
@@ -321,8 +334,9 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		return nil, err
 	}
 	reg := metrics.NewRegistry()
+	journal := inspect.NewJournal(testbed.Epoch)
 	c, err := testbed.New(cfg.Nodes, testbed.Options{
-		Seed: cfg.Seed, Metrics: reg, Tracer: cfg.Tracer,
+		Seed: cfg.Seed, Metrics: reg, Tracer: cfg.Tracer, Journal: journal,
 	})
 	if err != nil {
 		return nil, err
@@ -334,6 +348,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 
 	nodes := make([]*chaosNode, cfg.Nodes)
 	byAddr := make(map[mnet.Addr]*chaosNode, cfg.Nodes)
+	monitor := inspect.NewMonitor(testbed.Epoch, reg, inspect.MonitorConfig{})
 	for i, node := range c.Nodes {
 		cn, err := deployChaos(c, node, cfg.Proto)
 		if err != nil {
@@ -341,6 +356,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		}
 		nodes[i] = cn
 		byAddr[node.Addr] = cn
+		monitor.Watch(inspect.Target{Mgr: node.Mgr, Tables: cn.ribs})
 	}
 
 	// Live invariant: monotonic sequence numbers, watched on the medium tap.
@@ -459,5 +475,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	report.TapFrames = watch.Frames()
 	report.SeqViolations = watch.Violations()
 	report.Violations = invariant.DefaultSuite().Run(snapshotCluster(c, nodes))
+	report.Arch = c.Snapshot()
+	report.Health = monitor.Check(c.Clock.Now())
+	report.Journal = journal.Entries()
 	return report, nil
 }

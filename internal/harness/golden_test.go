@@ -1,15 +1,28 @@
 package harness
 
 // Golden-trace tests: one small scripted run per protocol family, traced
-// through the observability layer, with the trace fingerprint committed.
-// The virtual clock and seeded medium make the span stream a pure function
-// of (composition, seed), so any change to dispatch order, timer firing,
-// message handling or the frame pipeline shows up as a fingerprint drift —
-// the strongest whole-stack determinism regression we have. When a change
-// legitimately alters protocol behaviour, re-run with -run TestGoldenTrace
-// -v and update the constant from the failure message.
+// through the observability layer, with the trace fingerprint committed to
+// testdata/golden_fingerprints.json. The virtual clock and seeded medium
+// make the span stream a pure function of (composition, seed), so any
+// change to dispatch order, timer firing, message handling or the frame
+// pipeline shows up as a fingerprint drift — the strongest whole-stack
+// determinism regression we have.
+//
+// When a change legitimately alters protocol behaviour (or the span
+// schema), regenerate the committed fingerprints with
+//
+//	MANETKIT_UPDATE_GOLDEN=1 go test ./internal/harness -run TestGoldenTraces -update
+//
+// The env var is a second key on the trigger: -update alone fails loudly,
+// so a stray flag in someone's test invocation can never silently rewrite
+// the goldens.
 
 import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 
@@ -17,6 +30,11 @@ import (
 	"manetkit/internal/testbed"
 	"manetkit/internal/trace"
 )
+
+var updateGolden = flag.Bool("update", false,
+	"rewrite testdata/golden_fingerprints.json from this run (requires MANETKIT_UPDATE_GOLDEN=1)")
+
+const goldenPath = "testdata/golden_fingerprints.json"
 
 // goldenTrace drives the canonical scripted run for one protocol family:
 // a 3-node line, 13s of convergence, one end-to-end data packet, then 10s
@@ -47,17 +65,63 @@ func goldenTrace(t *testing.T, proto string) *trace.Tracer {
 	return tr
 }
 
-// Committed golden fingerprints, one per protocol family.
-var goldenFingerprints = map[string]string{
-	"olsr": "698703c26adb0e30",
-	"dymo": "c3fa97f260855a23",
-	"aodv": "a1f74b7fb4a7a59e",
-	"zrp":  "9ad3acaefae968a7",
+// loadGoldenFingerprints reads the committed per-protocol fingerprints.
+func loadGoldenFingerprints(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read %s: %v (regenerate with MANETKIT_UPDATE_GOLDEN=1 go test -run TestGoldenTraces -update)", goldenPath, err)
+	}
+	var out map[string]string
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+	return out
+}
+
+// writeGoldenFingerprints rewrites the testdata file deterministically.
+func writeGoldenFingerprints(t *testing.T, fps map[string]string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		t.Fatalf("mkdir testdata: %v", err)
+	}
+	data, err := json.MarshalIndent(fps, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal fingerprints: %v", err)
+	}
+	if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatalf("write %s: %v", goldenPath, err)
+	}
+	t.Logf("rewrote %s with %d fingerprints", goldenPath, len(fps))
+}
+
+// goldenProtos lists the protocol families under golden coverage, in
+// stable order.
+func goldenProtos(fps map[string]string) []string {
+	protos := make([]string, 0, len(fps))
+	for p := range fps {
+		protos = append(protos, p)
+	}
+	sort.Strings(protos)
+	return protos
 }
 
 func TestGoldenTraces(t *testing.T) {
-	for proto, want := range goldenFingerprints {
-		proto, want := proto, want
+	if *updateGolden {
+		if os.Getenv("MANETKIT_UPDATE_GOLDEN") == "" {
+			t.Fatal("-update passed without MANETKIT_UPDATE_GOLDEN=1; refusing to rewrite the goldens")
+		}
+		fresh := map[string]string{}
+		for _, proto := range ChaosProtos() {
+			tr := goldenTrace(t, proto)
+			fresh[proto] = tr.Fingerprint()
+		}
+		writeGoldenFingerprints(t, fresh)
+		return
+	}
+	golden := loadGoldenFingerprints(t)
+	for _, proto := range goldenProtos(golden) {
+		proto, want := proto, golden[proto]
 		t.Run(proto, func(t *testing.T) {
 			tr := goldenTrace(t, proto)
 			if tr.Len() == 0 {
@@ -68,7 +132,8 @@ func TestGoldenTraces(t *testing.T) {
 			}
 			if got := tr.Fingerprint(); got != want {
 				t.Errorf("%s golden trace fingerprint = %s, want %s (%d spans)\n"+
-					"If this change intentionally alters protocol behaviour, update goldenFingerprints.",
+					"If this change intentionally alters protocol behaviour, regenerate with\n"+
+					"MANETKIT_UPDATE_GOLDEN=1 go test ./internal/harness -run TestGoldenTraces -update",
 					proto, got, want, tr.Len())
 			}
 		})

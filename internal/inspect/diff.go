@@ -1,0 +1,189 @@
+package inspect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Delta names the structural differences of one node between two
+// snapshots. An all-empty Delta (only Node set) means the node's
+// architecture is unchanged.
+type Delta struct {
+	Node string `json:"node"`
+	// AddedUnits / RemovedUnits name units present in only one snapshot.
+	AddedUnits   []string `json:"added_units,omitempty"`
+	RemovedUnits []string `json:"removed_units,omitempty"`
+	// ModelChange is "old -> new" when the concurrency model switched.
+	ModelChange string `json:"model_change,omitempty"`
+	// TupleChanged names units (present in both) whose event tuple changed.
+	TupleChanged []string `json:"tuple_changed,omitempty"`
+	// DedicatedChanged names units whose thread placement flipped.
+	DedicatedChanged []string `json:"dedicated_changed,omitempty"`
+	// ComponentsChanged names units whose inner CF composition changed
+	// (handler swaps, source plug-ins — the fine-grained reconfigurations).
+	ComponentsChanged []string `json:"components_changed,omitempty"`
+	// AddedBindings / RemovedBindings are the event-topology edge changes.
+	AddedBindings   []BindingSnapshot `json:"added_bindings,omitempty"`
+	RemovedBindings []BindingSnapshot `json:"removed_bindings,omitempty"`
+}
+
+// Empty reports whether the delta records no structural change.
+func (d Delta) Empty() bool {
+	return len(d.AddedUnits) == 0 && len(d.RemovedUnits) == 0 &&
+		d.ModelChange == "" && len(d.TupleChanged) == 0 &&
+		len(d.DedicatedChanged) == 0 && len(d.ComponentsChanged) == 0 &&
+		len(d.AddedBindings) == 0 && len(d.RemovedBindings) == 0
+}
+
+// String renders the delta as one human-readable line.
+func (d Delta) String() string {
+	if d.Empty() {
+		return d.Node + ": unchanged"
+	}
+	var parts []string
+	if len(d.AddedUnits) > 0 {
+		parts = append(parts, "+units["+strings.Join(d.AddedUnits, ",")+"]")
+	}
+	if len(d.RemovedUnits) > 0 {
+		parts = append(parts, "-units["+strings.Join(d.RemovedUnits, ",")+"]")
+	}
+	if d.ModelChange != "" {
+		parts = append(parts, "model("+d.ModelChange+")")
+	}
+	if len(d.TupleChanged) > 0 {
+		parts = append(parts, "retuple["+strings.Join(d.TupleChanged, ",")+"]")
+	}
+	if len(d.DedicatedChanged) > 0 {
+		parts = append(parts, "threading["+strings.Join(d.DedicatedChanged, ",")+"]")
+	}
+	if len(d.ComponentsChanged) > 0 {
+		parts = append(parts, "recomposed["+strings.Join(d.ComponentsChanged, ",")+"]")
+	}
+	if n := len(d.AddedBindings); n > 0 {
+		parts = append(parts, fmt.Sprintf("+%d bindings", n))
+	}
+	if n := len(d.RemovedBindings); n > 0 {
+		parts = append(parts, fmt.Sprintf("-%d bindings", n))
+	}
+	return d.Node + ": " + strings.Join(parts, " ")
+}
+
+// DiffNode computes the structural delta from a to b for one node.
+func DiffNode(a, b NodeSnapshot) Delta {
+	d := Delta{Node: b.Node}
+	if d.Node == "" {
+		d.Node = a.Node
+	}
+	if a.Model != b.Model && a.Model != "" && b.Model != "" {
+		d.ModelChange = a.Model + " -> " + b.Model
+	}
+	au := make(map[string]UnitSnapshot, len(a.Units))
+	for _, u := range a.Units {
+		au[u.Name] = u
+	}
+	bu := make(map[string]UnitSnapshot, len(b.Units))
+	for _, u := range b.Units {
+		bu[u.Name] = u
+	}
+	for _, u := range b.Units {
+		old, ok := au[u.Name]
+		if !ok {
+			d.AddedUnits = append(d.AddedUnits, u.Name)
+			continue
+		}
+		if !equalStrings(old.Required, u.Required) || !equalStrings(old.Provided, u.Provided) {
+			d.TupleChanged = append(d.TupleChanged, u.Name)
+		}
+		if old.Dedicated != u.Dedicated {
+			d.DedicatedChanged = append(d.DedicatedChanged, u.Name)
+		}
+		if !equalComponentSets(old.Components, u.Components) {
+			d.ComponentsChanged = append(d.ComponentsChanged, u.Name)
+		}
+	}
+	for _, u := range a.Units {
+		if _, ok := bu[u.Name]; !ok {
+			d.RemovedUnits = append(d.RemovedUnits, u.Name)
+		}
+	}
+	ab := make(map[BindingSnapshot]bool, len(a.Bindings))
+	for _, x := range a.Bindings {
+		ab[x] = true
+	}
+	bb := make(map[BindingSnapshot]bool, len(b.Bindings))
+	for _, x := range b.Bindings {
+		bb[x] = true
+	}
+	for _, x := range b.Bindings {
+		if !ab[x] {
+			d.AddedBindings = append(d.AddedBindings, x)
+		}
+	}
+	for _, x := range a.Bindings {
+		if !bb[x] {
+			d.RemovedBindings = append(d.RemovedBindings, x)
+		}
+	}
+	sortBindings(d.AddedBindings)
+	sortBindings(d.RemovedBindings)
+	return d
+}
+
+// Diff computes per-node deltas from snapshot a to snapshot b, in node
+// order. Nodes present in only one snapshot appear with all their units
+// added or removed. Unchanged nodes are elided.
+func Diff(a, b Snapshot) []Delta {
+	an := make(map[string]NodeSnapshot, len(a.Nodes))
+	for _, n := range a.Nodes {
+		an[n.Node] = n
+	}
+	bn := make(map[string]NodeSnapshot, len(b.Nodes))
+	for _, n := range b.Nodes {
+		bn[n.Node] = n
+	}
+	names := make([]string, 0, len(an)+len(bn))
+	for name := range an {
+		names = append(names, name)
+	}
+	for name := range bn {
+		if _, ok := an[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []Delta
+	for _, name := range names {
+		d := DiffNode(an[name], bn[name])
+		d.Node = name
+		if !d.Empty() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// equalComponentSets compares inner compositions as sets: registration
+// order is incidental for "did a handler get swapped" purposes.
+func equalComponentSets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	return equalStrings(as, bs)
+}

@@ -1,0 +1,51 @@
+package inspect
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the snapshot as a Graphviz digraph: one cluster per node
+// labelled with its concurrency model, one box per unit (doubled borders
+// for dedicated-thread units, a dashed border for stopped protocols), and
+// one edge per derived event binding. The output is deterministic — it
+// derives purely from the (already sorted) snapshot — so it can be diffed
+// textually and round-trips through the JSON form.
+func (s Snapshot) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph manetkit {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+	for i, n := range s.Nodes {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n", i)
+		fmt.Fprintf(&b, "    label=%q;\n", n.Node+"  ["+n.Model+"]")
+		for _, u := range n.Units {
+			attrs := []string{fmt.Sprintf("label=%q", dotUnitLabel(u))}
+			if u.Dedicated {
+				attrs = append(attrs, "peripheries=2")
+			}
+			if len(u.Components) > 0 && !u.Started {
+				attrs = append(attrs, "style=dashed")
+			}
+			fmt.Fprintf(&b, "    %q [%s];\n", n.Node+"/"+u.Name, strings.Join(attrs, ", "))
+		}
+		for _, e := range n.Bindings {
+			fmt.Fprintf(&b, "    %q -> %q [label=%q, fontsize=9];\n",
+				n.Node+"/"+e.From, n.Node+"/"+e.To, e.Receptacle)
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// dotUnitLabel compresses a unit's tuple into a two-line box label:
+// name on top, "req -> prov" beneath.
+func dotUnitLabel(u UnitSnapshot) string {
+	req := strings.Join(u.Required, ",")
+	prov := strings.Join(u.Provided, ",")
+	if req == "" && prov == "" {
+		return u.Name
+	}
+	return fmt.Sprintf("%s\nreq: %s\nprov: %s", u.Name, req, prov)
+}

@@ -1,0 +1,273 @@
+package inspect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"manetkit/internal/core"
+	"manetkit/internal/event"
+	"manetkit/internal/metrics"
+	"manetkit/internal/route"
+)
+
+// Level grades a health finding.
+type Level string
+
+// Finding severities.
+const (
+	LevelWarn Level = "warn"
+	LevelCrit Level = "critical"
+)
+
+// Finding is one watchdog observation.
+type Finding struct {
+	Node   string `json:"node,omitempty"`
+	Unit   string `json:"unit,omitempty"`
+	Check  string `json:"check"`
+	Level  Level  `json:"level"`
+	Detail string `json:"detail"`
+}
+
+// Report is the health roll-up of one Monitor.Check pass: empty findings
+// means every watchdog was satisfied.
+type Report struct {
+	// T is the virtual-clock offset of the check.
+	T        time.Duration `json:"t_ns"`
+	Findings []Finding     `json:"findings"`
+}
+
+// Healthy reports whether the check produced no findings.
+func (r Report) Healthy() bool { return len(r.Findings) == 0 }
+
+// String renders the report as one line per finding (or "healthy").
+func (r Report) String() string {
+	if r.Healthy() {
+		return fmt.Sprintf("t=%s healthy\n", r.T)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%s %d findings\n", r.T, len(r.Findings))
+	for _, f := range r.Findings {
+		loc := f.Node
+		if f.Unit != "" {
+			loc += "/" + f.Unit
+		}
+		fmt.Fprintf(&b, "  [%s] %-18s %-22s %s\n", f.Level, f.Check, loc, f.Detail)
+	}
+	return b.String()
+}
+
+// MonitorConfig tunes the watchdog thresholds.
+type MonitorConfig struct {
+	// QueueWatermark flags dedicated-queue depths at or above it
+	// (default 512 — half the default queue bound).
+	QueueWatermark int
+	// DropRatio flags a node whose dropped/emitted ratio over the check
+	// window exceeds it (default 0.5).
+	DropRatio float64
+	// ChurnThreshold flags a node observing more neighbourhood changes
+	// than it within one check window (default 16).
+	ChurnThreshold int
+}
+
+func (c *MonitorConfig) fill() {
+	if c.QueueWatermark <= 0 {
+		c.QueueWatermark = 512
+	}
+	if c.DropRatio <= 0 {
+		c.DropRatio = 0.5
+	}
+	if c.ChurnThreshold <= 0 {
+		c.ChurnThreshold = 16
+	}
+}
+
+// Target is one node under health watch: its manager and, optionally, the
+// protocol route tables to check for staleness.
+type Target struct {
+	Node string
+	Mgr  *core.Manager
+	// Tables maps a protocol name to its route table; stale-route checks
+	// are skipped when empty.
+	Tables map[string]*route.Table
+}
+
+type watched struct {
+	Target
+	last    core.ManagerStats
+	hasLast bool
+	churn   int
+}
+
+// Monitor rolls per-unit watchdogs over the existing observability
+// surfaces into a health report: dedicated-queue watermarks and overflow
+// (metrics gauges/counters), dispatch-progress stalls and drop ratios
+// (manager counters between successive checks), route-table staleness
+// (valid entries whose every path has expired) and neighbour churn
+// (NHOOD_CHANGE events per check window). It owns no goroutines — call
+// Check from wherever paces the deployment (a timer, an HTTP handler, the
+// end of a chaos run).
+type Monitor struct {
+	epoch time.Time
+	reg   *metrics.Registry
+	cfg   MonitorConfig
+
+	mu          sync.Mutex
+	targets     []*watched
+	lastDropped map[string]uint64
+}
+
+// NewMonitor creates a monitor reading cluster-wide instruments from reg
+// (nil disables the metrics-based checks). Report timestamps are offsets
+// from epoch.
+func NewMonitor(epoch time.Time, reg *metrics.Registry, cfg MonitorConfig) *Monitor {
+	cfg.fill()
+	return &Monitor{epoch: epoch, reg: reg, cfg: cfg, lastDropped: make(map[string]uint64)}
+}
+
+// Watch adds a node to the monitor and subscribes to its neighbourhood
+// change events for churn accounting.
+func (m *Monitor) Watch(t Target) {
+	if t.Node == "" && t.Mgr != nil {
+		t.Node = t.Mgr.Node().String()
+	}
+	w := &watched{Target: t}
+	m.mu.Lock()
+	m.targets = append(m.targets, w)
+	m.mu.Unlock()
+	if t.Mgr != nil {
+		t.Mgr.SubscribeContext(event.NhoodChange, func(*event.Event) {
+			m.mu.Lock()
+			w.churn++
+			m.mu.Unlock()
+		})
+	}
+}
+
+// Check runs every watchdog once against the current state, using now (the
+// deployment's virtual clock) for route-expiry evaluation, and resets the
+// per-window accounting. Findings are sorted for deterministic output.
+func (m *Monitor) Check(now time.Time) Report {
+	r := Report{T: now.Sub(m.epoch)}
+
+	// Cluster-wide queue watermarks and overflow from the metric registry.
+	if m.reg != nil {
+		snap := m.reg.Snapshot()
+		m.mu.Lock()
+		for name, depth := range snap.Gauges {
+			unit, ok := strings.CutPrefix(name, "core_dedicated_depth:")
+			if !ok {
+				continue
+			}
+			if depth >= int64(m.cfg.QueueWatermark) {
+				r.Findings = append(r.Findings, Finding{
+					Unit: unit, Check: "queue-watermark", Level: LevelWarn,
+					Detail: fmt.Sprintf("dedicated queue depth %d >= watermark %d", depth, m.cfg.QueueWatermark),
+				})
+			}
+		}
+		for name, count := range snap.Counters {
+			unit, ok := strings.CutPrefix(name, "core_dedicated_dropped:")
+			if !ok {
+				continue
+			}
+			if prev := m.lastDropped[unit]; count > prev {
+				r.Findings = append(r.Findings, Finding{
+					Unit: unit, Check: "queue-overflow", Level: LevelWarn,
+					Detail: fmt.Sprintf("%d deliveries dropped by queue overflow since last check", count-prev),
+				})
+			}
+			m.lastDropped[unit] = count
+		}
+		m.mu.Unlock()
+	}
+
+	m.mu.Lock()
+	targets := append([]*watched(nil), m.targets...)
+	m.mu.Unlock()
+	for _, w := range targets {
+		m.checkTarget(w, now, &r)
+	}
+
+	sort.Slice(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Unit < b.Unit
+	})
+	return r
+}
+
+func (m *Monitor) checkTarget(w *watched, now time.Time, r *Report) {
+	m.mu.Lock()
+	churn := w.churn
+	w.churn = 0
+	m.mu.Unlock()
+	if churn > m.cfg.ChurnThreshold {
+		r.Findings = append(r.Findings, Finding{
+			Node: w.Node, Check: "neighbor-churn", Level: LevelWarn,
+			Detail: fmt.Sprintf("%d neighbourhood changes this window (threshold %d)", churn, m.cfg.ChurnThreshold),
+		})
+	}
+
+	if w.Mgr != nil {
+		s := w.Mgr.Stats()
+		m.mu.Lock()
+		last, hasLast := w.last, w.hasLast
+		w.last, w.hasLast = s, true
+		m.mu.Unlock()
+		if hasLast {
+			dEmit := s.Emitted - last.Emitted
+			dDeliv := s.Delivered - last.Delivered
+			dDrop := s.Dropped - last.Dropped
+			// Stall: routable events kept arriving but none were delivered.
+			if dDeliv == 0 && dEmit > dDrop {
+				r.Findings = append(r.Findings, Finding{
+					Node: w.Node, Check: "dispatch-stall", Level: LevelCrit,
+					Detail: fmt.Sprintf("%d events emitted this window, none delivered", dEmit),
+				})
+			}
+			if dEmit > 0 {
+				if ratio := float64(dDrop) / float64(dEmit); ratio > m.cfg.DropRatio {
+					r.Findings = append(r.Findings, Finding{
+						Node: w.Node, Check: "drop-rate", Level: LevelWarn,
+						Detail: fmt.Sprintf("%.0f%% of %d emitted events dropped this window", 100*ratio, dEmit),
+					})
+				}
+			}
+		}
+	}
+
+	protos := make([]string, 0, len(w.Tables))
+	for name := range w.Tables {
+		protos = append(protos, name)
+	}
+	sort.Strings(protos)
+	for _, proto := range protos {
+		tbl := w.Tables[proto]
+		if tbl == nil {
+			continue
+		}
+		stale := 0
+		for _, e := range tbl.Entries() {
+			if !e.Valid {
+				continue
+			}
+			if _, ok := e.Best(now); !ok {
+				stale++
+			}
+		}
+		if stale > 0 {
+			r.Findings = append(r.Findings, Finding{
+				Node: w.Node, Unit: proto, Check: "route-staleness", Level: LevelWarn,
+				Detail: fmt.Sprintf("%d valid routes whose every path has expired", stale),
+			})
+		}
+	}
+}

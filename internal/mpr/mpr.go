@@ -134,8 +134,9 @@ type MPR struct {
 	state *State
 	cfg   Config
 
-	mu   sync.Mutex
-	calc Calculator
+	mu       sync.Mutex
+	calc     Calculator
+	helloSeq uint16
 
 	// Instruments, resolved from the deployment's registry on Start; nil
 	// (no-op) when the deployment carries no metrics.
@@ -247,10 +248,15 @@ func (m *MPR) emitHello(ctx *core.Context) {
 // TLVs plus the ATLVMPR flag on selected relays and the node's willingness.
 func (m *MPR) BuildHello(self mnet.Addr) *packetbb.Message {
 	st := m.state
+	m.mu.Lock()
+	m.helloSeq++
+	seq := m.helloSeq
+	m.mu.Unlock()
 	msg := &packetbb.Message{
 		Type:       packetbb.MsgHello,
 		Originator: self,
 		HopLimit:   1,
+		SeqNum:     seq,
 		TLVs: []packetbb.TLV{
 			{Type: packetbb.TLVWillingness, Value: packetbb.U8(st.Willingness())},
 		},

@@ -56,6 +56,7 @@ type Detector struct {
 	cfg   Config
 
 	mu       sync.Mutex
+	helloSeq uint16
 	piggyOut map[uint8]func() []byte
 	piggyIn  map[uint8]func(src mnet.Addr, value []byte)
 }
@@ -133,10 +134,15 @@ func (d *Detector) OnPiggyback(tlvType uint8, consume func(src mnet.Addr, value 
 // for reuse by the MPR CF, which extends the same beacon with relay
 // selection.
 func (d *Detector) BuildHello(self mnet.Addr) *packetbb.Message {
+	d.mu.Lock()
+	d.helloSeq++
+	seq := d.helloSeq
+	d.mu.Unlock()
 	msg := &packetbb.Message{
 		Type:       packetbb.MsgHello,
 		Originator: self,
 		HopLimit:   1,
+		SeqNum:     seq,
 		TLVs: []packetbb.TLV{
 			{Type: packetbb.TLVWillingness, Value: packetbb.U8(d.cfg.Willingness)},
 			{Type: packetbb.TLVValidityTime, Value: packetbb.U32(uint32(d.holdTime() / time.Millisecond))},

@@ -142,6 +142,15 @@ var (
 	ErrTooLarge  = errors.New("packetbb: element exceeds size limit")
 )
 
+// CorrID derives the message's correlation ID: type, originator and
+// sequence number, which together identify one logical message across every
+// hop of its flood or forwarding path. Sender, forwarders and receivers all
+// compute the same value from the decoded message, so causal packet paths
+// can be reconstructed from traces without any wire-format change.
+func (m *Message) CorrID() string {
+	return fmt.Sprintf("%s:%s:%d", m.Type, m.Originator, m.SeqNum)
+}
+
 // FindTLV returns the first message TLV of the given type.
 func (m *Message) FindTLV(typ uint8) (TLV, bool) {
 	for _, tlv := range m.TLVs {

@@ -108,6 +108,16 @@ func (n *Netlink) BufferedCount(dst mnet.Addr) int {
 	return len(nl.buffered[dst])
 }
 
+// corr derives the data packet's correlation ID — source plus the
+// source-assigned packet ID, the identity every hop sees unchanged. Empty
+// when tracing is disabled so the fast path stays allocation-free.
+func (nl *netlink) corr(pkt *dataPacket) string {
+	if !nl.s.proto.Tracing() {
+		return ""
+	}
+	return fmt.Sprintf("DATA:%s:%d", pkt.Src, pkt.ID)
+}
+
 // route forwards or buffers one packet. originated marks locally-created
 // packets (eligible for buffering + NO_ROUTE).
 func (nl *netlink) route(pkt *dataPacket, originated bool) error {
@@ -126,6 +136,7 @@ func (nl *netlink) route(pkt *dataPacket, originated bool) error {
 			return s.proto.Emit(&event.Event{
 				Type:  event.SendRouteErr,
 				Route: &event.RoutePayload{Dst: pkt.Dst, Src: pkt.Src},
+				Corr:  nl.corr(pkt),
 			})
 		}
 		return nl.hold(pkt)
@@ -154,13 +165,15 @@ func (nl *netlink) transmit(pkt *dataPacket, nextHop mnet.Addr, originated bool)
 		battery.SpendFrame()
 	}
 	dst, src := pkt.Dst, pkt.Src
-	err := s.nic.SendWithFeedback(nextHop, encodeData(pkt), func(delivered bool) {
+	corr := nl.corr(pkt)
+	err := s.nic.SendWithFeedbackTagged(nextHop, encodeData(pkt), corr, func(delivered bool) {
 		if delivered {
 			return
 		}
 		_ = s.proto.Emit(&event.Event{
 			Type:  event.LinkBreak,
 			Route: &event.RoutePayload{Dst: dst, Src: src, NextHop: nextHop},
+			Corr:  corr,
 		})
 	})
 	if err != nil {
@@ -169,6 +182,7 @@ func (nl *netlink) transmit(pkt *dataPacket, nextHop mnet.Addr, originated bool)
 	return s.proto.Emit(&event.Event{
 		Type:  event.RouteUpdate,
 		Route: &event.RoutePayload{Dst: dst, Src: src, NextHop: nextHop},
+		Corr:  corr,
 	})
 }
 
@@ -195,6 +209,7 @@ func (nl *netlink) hold(pkt *dataPacket) error {
 	return s.proto.Emit(&event.Event{
 		Type:  event.NoRoute,
 		Route: &event.RoutePayload{Dst: pkt.Dst, Src: pkt.Src, PacketID: pkt.ID},
+		Corr:  nl.corr(pkt),
 	})
 }
 

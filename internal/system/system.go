@@ -272,7 +272,7 @@ func (s *System) sendControl(ev *event.Event) error {
 	if battery != nil {
 		battery.SpendFrame()
 	}
-	return s.nic.Send(dst, append([]byte{wireControl}, wire...))
+	return s.nic.SendTagged(dst, append([]byte{wireControl}, wire...), ev.Corr)
 }
 
 // receive is the NIC upcall: it decodes frames and pushes the resulting

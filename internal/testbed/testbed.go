@@ -10,6 +10,7 @@ import (
 
 	"manetkit/internal/core"
 	"manetkit/internal/emunet"
+	"manetkit/internal/inspect"
 	"manetkit/internal/metrics"
 	"manetkit/internal/mnet"
 	"manetkit/internal/route"
@@ -51,6 +52,10 @@ type Options struct {
 	// every node; under the cluster's virtual clock the trace is
 	// byte-identical run to run for the same seed.
 	Tracer *trace.Tracer
+	// Journal, when non-nil, watches every node's manager so each topology
+	// re-derivation (deploy, undeploy, model switch, retuple) is recorded
+	// as a timestamped snapshot diff.
+	Journal *inspect.Journal
 }
 
 // Cluster is a set of co-emulated MANETKit nodes on one virtual clock.
@@ -121,6 +126,9 @@ func (c *Cluster) AddNode(addr mnet.Addr) (*Node, error) {
 	if err := sys.Protocol().Start(); err != nil {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
+	if c.opts.Journal != nil {
+		c.opts.Journal.Watch(mgr)
+	}
 	node := &Node{Addr: addr, Mgr: mgr, Sys: sys}
 	c.Nodes = append(c.Nodes, node)
 	return node, nil
@@ -143,6 +151,18 @@ func (c *Cluster) Metrics() *metrics.Registry { return c.opts.Metrics }
 
 // Tracer returns the cluster's shared tracer (nil when not configured).
 func (c *Cluster) Tracer() *trace.Tracer { return c.opts.Tracer }
+
+// Journal returns the cluster's rewire journal (nil when not configured).
+func (c *Cluster) Journal() *inspect.Journal { return c.opts.Journal }
+
+// Snapshot captures the live architecture meta-model of every node.
+func (c *Cluster) Snapshot() inspect.Snapshot {
+	mgrs := make([]*core.Manager, len(c.Nodes))
+	for i, n := range c.Nodes {
+		mgrs[i] = n.Mgr
+	}
+	return inspect.Capture(mgrs...)
+}
 
 // Line links the nodes into the paper's linear chain topology.
 func (c *Cluster) Line() error { return emunet.BuildLine(c.Net, c.Addrs(), c.opts.LinkQuality) }

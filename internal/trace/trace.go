@@ -52,8 +52,16 @@ type Span struct {
 	To   string `json:"to,omitempty"`
 	// Handler names the handler component for KindHandle spans.
 	Handler string `json:"handler,omitempty"`
-	// QDepth is the delivery-queue depth observed at dispatch time.
-	QDepth int `json:"qdepth,omitempty"`
+	// Corr is the message correlation ID, derived from PacketBB message
+	// identity (type:originator:seqnum, or data:<src>:<id> for data
+	// packets). Every span a message touches — emit, dispatch, handle and
+	// the frame spans on every hop, on every node — carries the same value,
+	// which is what lets inspect.Correlate stitch cross-node causal paths.
+	Corr string `json:"corr,omitempty"`
+	// QDepth is the delivery-queue depth observed at dispatch time. No
+	// omitempty: a queue depth of 0 is a legitimate observation and must
+	// survive a JSONL round trip.
+	QDepth int `json:"qdepth"`
 	// Bytes is the payload size for frame spans.
 	Bytes int `json:"bytes,omitempty"`
 }

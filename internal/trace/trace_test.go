@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -74,6 +75,42 @@ func TestWriteJSONLDeterministic(t *testing.T) {
 	}
 	if build().Fingerprint() == New(epoch, 16).Fingerprint() {
 		t.Fatalf("fingerprint ignores content")
+	}
+}
+
+// TestSpanRoundTripQDepthZero: a dispatch span with queue depth 0 must
+// keep that depth through serialization. QDepth deliberately has no
+// omitempty — depth 0 (an idle dedicated queue) is a legitimate
+// measurement, distinct from "not a queued dispatch", and eliding it
+// corrupted path correlation on quiet nodes.
+func TestSpanRoundTripQDepthZero(t *testing.T) {
+	in := Span{
+		Kind: KindDispatch, Node: "10.0.0.1", Event: "HELLO_IN",
+		To: "mpr", Corr: "HELLO:10.0.0.2:7", QDepth: 0,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"qdepth":0`) {
+		t.Fatalf("qdepth 0 elided from JSON: %s", data)
+	}
+	var out Span
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if out != in {
+		t.Fatalf("span did not round-trip:\n in=%+v\nout=%+v", in, out)
+	}
+	// A non-zero depth round-trips too.
+	in.QDepth = 3
+	data, _ = json.Marshal(in)
+	var out2 Span
+	if err := json.Unmarshal(data, &out2); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if out2.QDepth != 3 {
+		t.Fatalf("qdepth = %d after round trip, want 3", out2.QDepth)
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"manetkit/internal/dymo"
 	"manetkit/internal/emunet"
 	"manetkit/internal/event"
+	"manetkit/internal/inspect"
 	"manetkit/internal/invariant"
 	"manetkit/internal/metrics"
 	"manetkit/internal/mnet"
@@ -40,6 +41,7 @@ import (
 	"manetkit/internal/neighbor"
 	"manetkit/internal/olsr"
 	"manetkit/internal/policy"
+	"manetkit/internal/route"
 	"manetkit/internal/system"
 	"manetkit/internal/trace"
 	"manetkit/internal/vclock"
@@ -117,6 +119,34 @@ type (
 	Tracer = trace.Tracer
 	// Span is one traced event (emit, dispatch, handle, frame-tx, ...).
 	Span = trace.Span
+	// RouteTable is the protocol-facing RIB template.
+	RouteTable = route.Table
+	// ArchSnapshot is a point-in-time serialization of the live
+	// architecture meta-model: nodes × units × tuples × derived bindings.
+	ArchSnapshot = inspect.Snapshot
+	// NodeArch is one node's slice of an ArchSnapshot.
+	NodeArch = inspect.NodeSnapshot
+	// ArchDelta names the structural differences of one node between two
+	// snapshots.
+	ArchDelta = inspect.Delta
+	// RewireJournal records every topology re-derivation as a timestamped
+	// snapshot diff.
+	RewireJournal = inspect.Journal
+	// JournalEntry is one journalled reconfiguration.
+	JournalEntry = inspect.Entry
+	// PacketPath is the cross-node causal reconstruction of one correlated
+	// message (flood tree or unicast chain with per-hop latency).
+	PacketPath = inspect.Path
+	// PacketHop is one link traversal of a PacketPath.
+	PacketHop = inspect.Hop
+	// HealthMonitor rolls per-unit watchdogs into a health report.
+	HealthMonitor = inspect.Monitor
+	// HealthTarget is one node under health watch.
+	HealthTarget = inspect.Target
+	// HealthReport is the outcome of one HealthMonitor check.
+	HealthReport = inspect.Report
+	// HealthFinding is one watchdog observation.
+	HealthFinding = inspect.Finding
 )
 
 // NewFaultPlan starts an empty seeded fault schedule.
@@ -138,6 +168,44 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 // (capacity 0 = default). Epoch anchors relative timestamps; use the
 // virtual clock's start time for deterministic traces.
 func NewTracer(epoch time.Time, capacity int) *Tracer { return trace.New(epoch, capacity) }
+
+// CaptureArch snapshots the live architecture meta-model of the given
+// stacks; the result serializes deterministically to JSON and Graphviz DOT.
+func CaptureArch(stacks ...*Stack) ArchSnapshot {
+	mgrs := make([]*core.Manager, len(stacks))
+	for i, s := range stacks {
+		mgrs[i] = s.mgr
+	}
+	return inspect.Capture(mgrs...)
+}
+
+// DiffArch computes per-node structural deltas between two snapshots.
+func DiffArch(a, b ArchSnapshot) []ArchDelta { return inspect.Diff(a, b) }
+
+// ParseArchSnapshot inverts ArchSnapshot.JSON.
+func ParseArchSnapshot(data []byte) (ArchSnapshot, error) { return inspect.ParseSnapshot(data) }
+
+// NewRewireJournal creates a journal of topology re-derivations; install it
+// via StackOptions.Journal (or Journal.Watch on individual managers).
+func NewRewireJournal(epoch time.Time) *RewireJournal { return inspect.NewJournal(epoch) }
+
+// CorrelatePaths stitches a cluster trace into per-message causal paths.
+func CorrelatePaths(spans []Span) []PacketPath { return inspect.Correlate(spans) }
+
+// RenderPacketPaths renders up to limit reconstructed paths as propagation
+// trees (limit <= 0 renders all).
+func RenderPacketPaths(paths []PacketPath, limit int) string {
+	return inspect.RenderPaths(paths, limit)
+}
+
+// NewHealthMonitor builds a watchdog monitor over the shared registry
+// (reg may be nil); zero-valued config fields take defaults.
+func NewHealthMonitor(epoch time.Time, reg *MetricsRegistry, cfg inspect.MonitorConfig) *HealthMonitor {
+	return inspect.NewMonitor(epoch, reg, cfg)
+}
+
+// HealthConfig tunes the HealthMonitor thresholds.
+type HealthConfig = inspect.MonitorConfig
 
 // Concurrency models (§4.4 of the paper).
 const (
@@ -199,6 +267,10 @@ type StackOptions struct {
 	// Tracer, when non-nil, records structured spans from the node's
 	// dispatch path. Nil disables tracing at zero cost.
 	Tracer *Tracer
+	// Journal, when non-nil, records every topology re-derivation of the
+	// stack (deploys, undeploys, model switches, retuples) as a timestamped
+	// snapshot diff; share one journal across a cluster.
+	Journal *RewireJournal
 }
 
 // OLSRConfig parameterises an OLSR deployment.
@@ -262,6 +334,9 @@ func NewStack(net *Network, addr Addr, opts StackOptions) (*Stack, error) {
 	if err := sys.Protocol().Start(); err != nil {
 		return nil, fmt.Errorf("manetkit: %w", err)
 	}
+	if opts.Journal != nil {
+		opts.Journal.Watch(mgr)
+	}
 	return &Stack{mgr: mgr, sys: sys, net: net}, nil
 }
 
@@ -301,6 +376,25 @@ func (s *Stack) Deploy(p *Protocol) error {
 
 // Undeploy stops and removes a protocol unit by name.
 func (s *Stack) Undeploy(name string) error { return s.mgr.Undeploy(name) }
+
+// RouteTables returns the RIBs of the stack's deployed routing protocols,
+// keyed by unit name — the route-staleness targets for a HealthMonitor.
+func (s *Stack) RouteTables() map[string]*RouteTable {
+	out := map[string]*RouteTable{}
+	if s.olsr != nil {
+		out[olsr.UnitName] = s.olsr.Routes()
+	}
+	if s.dymo != nil {
+		out[dymo.UnitName] = s.dymo.Routes()
+	}
+	if s.aodv != nil {
+		out[aodv.UnitName] = s.aodv.Routes()
+	}
+	if s.zrp != nil {
+		out[zrp.UnitName] = s.zrp.Routes()
+	}
+	return out
+}
 
 // DeployOLSR installs the proactive composition (MPR CF + OLSR CF). The
 // deployment is idempotent per stack.
