@@ -29,7 +29,7 @@ import (
 
 func main() {
 	table := flag.Int("table", 0, "paper table to regenerate (1 or 2)")
-	ablation := flag.String("ablation", "", "ablation to run: concurrency, variants, dymo, hybrid")
+	ablation := flag.String("ablation", "", "ablation to run: concurrency, variants, dymo, hybrid, dispatch")
 	all := flag.Bool("all", false, "run everything")
 	iters := flag.Int("iters", 2000, "iterations for per-message timing")
 	jsonOut := flag.String("json", "", "also write the measurements to this file as JSON")
@@ -67,6 +67,9 @@ func main() {
 	}
 	if *all || *ablation == "hybrid" {
 		run("Hybridisation (§7 extension)", hybrid)
+	}
+	if *all || *ablation == "dispatch" {
+		run("Event dispatch path (§6.1)", dispatch)
 	}
 
 	if *jsonOut != "" {
@@ -118,6 +121,24 @@ func hybrid(rep *BenchReport) error {
 		"hybrid_delay":      det(ms(r.HybridDelay), "ms"),
 		"zone_answers":      det(float64(r.ZoneAnswers), "replies"),
 		"near_discoveries":  det(float64(r.NearDiscoveries), "discoveries"),
+	})
+	return nil
+}
+
+func dispatch(rep *BenchReport) error {
+	d, err := harness.MeasureDispatch()
+	if err != nil {
+		return err
+	}
+	d.Print()
+	// ns/op is host-dependent (trend only); allocs/op is a property of the
+	// code — the RCU dispatch plans keep the steady-state path at exactly
+	// zero, and the baseline gate holds it there.
+	rep.add("dispatch", map[string]BenchValue{
+		"direct_ns_per_op":     wall(d.DirectNs, "ns"),
+		"direct_allocs_per_op": det(d.DirectAllocs, "allocs"),
+		"chain_ns_per_op":      wall(d.ChainNs, "ns"),
+		"chain_allocs_per_op":  det(d.ChainAllocs, "allocs"),
 	})
 	return nil
 }

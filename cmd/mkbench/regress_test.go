@@ -109,6 +109,10 @@ func TestAgainstCommittedBaseline(t *testing.T) {
 				name string
 				fn   func(*BenchReport) error
 			}{"table1", func(r *BenchReport) error { return table1(r, 50) }},
+			struct {
+				name string
+				fn   func(*BenchReport) error
+			}{"dispatch", dispatch},
 		)
 	}
 	for _, c := range collectors {

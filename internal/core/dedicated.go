@@ -41,10 +41,7 @@ func (d *dedicatedRunner) run() {
 		if err != nil {
 			return
 		}
-		sec := d.unit.Section()
-		sec.Lock()
-		_ = d.unit.Accept(ev)
-		sec.Unlock()
+		d.m.runAccept(d.unit, ev)
 		d.mu.Lock()
 		d.busy--
 		if d.busy == 0 {

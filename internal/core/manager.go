@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"manetkit/internal/event"
@@ -81,6 +82,16 @@ type ManagerStats struct {
 	Rewires   uint64 // topology re-derivations
 }
 
+// managerCounters is the hot-path representation of ManagerStats: plain
+// atomics, so emit and deliver never serialise on the manager mutex just to
+// count.
+type managerCounters struct {
+	emitted   atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	rewires   atomic.Uint64
+}
+
 // terminal is one end-of-chain requirer.
 type terminal struct {
 	name      string
@@ -95,12 +106,16 @@ type chain struct {
 	terminals   []terminal
 }
 
-// unitRec tracks one deployed unit.
+// unitRec tracks one deployed unit. Records are created once per deployment
+// and shared by reference with every published dispatch plan, so flipping a
+// unit to or from the thread-per-ManetProtocol model is visible to the
+// current plan without a rebuild.
 type unitRec struct {
 	unit Unit
 	// dedicated is non-nil when the unit runs the thread-per-ManetProtocol
-	// model: its own goroutine draining a FIFO queue.
-	dedicated *dedicatedRunner
+	// model: its own goroutine draining a FIFO queue. Atomic because the
+	// lock-free delivery path reads it concurrently with Enable/Disable.
+	dedicated atomic.Pointer[dedicatedRunner]
 }
 
 // Manager is the MANETKit CF plus its Framework Manager (Fig 2): the
@@ -115,17 +130,29 @@ type Manager struct {
 	clk  vclock.Clock
 	ont  *event.Ontology
 
+	// mu guards reconfiguration state only: the unit table, the derived
+	// chains, bindings, pollers and lifecycle flags. The steady-state emit
+	// path never takes it — it routes via the published plan below.
 	mu       sync.Mutex
-	model    Model
 	units    map[string]*unitRec
 	order    []string // deployment order: interposer chains follow it
 	chains   map[event.Type]*chain
 	bindings map[kernel.BindingInfo]*kernel.Binding
-	subs     []ctxSub
 	pollers  []*vclock.Periodic
-	stats    ManagerStats
 	closed   bool
 	sealed   bool
+
+	// plan is the compiled event topology, rebuilt by every rewire and
+	// swapped atomically (RCU): emit loads it once and routes over
+	// immutable data.
+	plan atomic.Pointer[dispatchPlan]
+	// model is the global concurrency model, read once per emission.
+	model atomic.Uint32
+	// subs is the context concentrator's subscriber snapshot, republished
+	// on SubscribeContext so dispatch iterates it without locks.
+	subs atomic.Pointer[[]ctxSub]
+	// stats are the hot-path counters; Stats() snapshots them.
+	stats managerCounters
 
 	// rewireHook, when set, runs after every topology re-derivation (and
 	// after concurrency-model switches), outside m.mu so it can re-enter
@@ -133,7 +160,9 @@ type Manager struct {
 	// inspect package's rewire journal.
 	rewireHook func()
 
-	workers  *pool.Pool
+	// workers is the PerN pool: built under m.mu, read atomically on the
+	// delivery path.
+	workers  atomic.Pointer[pool.Pool]
 	poolSize int
 	qBound   int
 	inflight sync.WaitGroup
@@ -148,7 +177,9 @@ type Manager struct {
 	// handler-emitted event destined for a unit already on the call stack
 	// is processed after the current delivery instead of deadlocking on
 	// the unit's critical section ("the same thread is used to call each
-	// ManetProtocol instance in turn", §4.4).
+	// ManetProtocol instance in turn", §4.4). dmu guards only this queue,
+	// so inline delivery never contends with reconfiguration.
+	dmu      sync.Mutex
 	inlineQ  queue.Ring[inlineDelivery]
 	draining bool
 }
@@ -188,7 +219,6 @@ func NewManager(cfg Config) (*Manager, error) {
 		node:     cfg.Node,
 		clk:      cfg.Clock,
 		ont:      cfg.Ontology,
-		model:    cfg.Model,
 		units:    make(map[string]*unitRec),
 		chains:   make(map[event.Type]*chain),
 		bindings: make(map[kernel.BindingInfo]*kernel.Binding),
@@ -196,6 +226,8 @@ func NewManager(cfg Config) (*Manager, error) {
 		qBound:   cfg.QueueBound,
 		obs:      newManagerObs(cfg.Node, cfg.Metrics, cfg.Tracer),
 	}
+	m.model.Store(uint32(cfg.Model))
+	m.plan.Store(emptyPlan)
 	return m, nil
 }
 
@@ -220,15 +252,15 @@ func (m *Manager) SetModel(mod Model) error {
 		return fmt.Errorf("core: unknown concurrency model %d", mod)
 	}
 	m.mu.Lock()
-	m.model = mod
-	if mod == PerN && m.workers == nil {
+	if mod == PerN && m.workers.Load() == nil {
 		p, err := pool.New(m.poolSize, 0)
 		if err != nil {
 			m.mu.Unlock()
 			return err
 		}
-		m.workers = p
+		m.workers.Store(p)
 	}
+	m.model.Store(uint32(mod))
 	hook := m.rewireHook
 	m.mu.Unlock()
 	if hook != nil {
@@ -239,9 +271,7 @@ func (m *Manager) SetModel(mod Model) error {
 
 // Model returns the current global concurrency model.
 func (m *Manager) Model() Model {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.model
+	return Model(m.model.Load())
 }
 
 // Deploy inserts a unit (a ManetProtocol CF or the System CF) into the
@@ -311,8 +341,8 @@ func (m *Manager) Undeploy(name string) error {
 	}
 	m.mu.Unlock()
 
-	if rec.dedicated != nil {
-		rec.dedicated.stop()
+	if d := rec.dedicated.Swap(nil); d != nil {
+		d.stop()
 	}
 	rec.unit.Detach()
 	m.Rewire()
@@ -347,16 +377,17 @@ func (m *Manager) EnableDedicatedThread(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: unit %q", kernel.ErrNoComponent, name)
 	}
-	if rec.dedicated != nil {
+	if rec.dedicated.Load() != nil {
 		return nil
 	}
-	rec.dedicated = newDedicatedRunner(m, rec.unit, m.qBound)
+	d := newDedicatedRunner(m, rec.unit, m.qBound)
 	if m.obs != nil && m.obs.reg != nil {
-		rec.dedicated.q.Instrument(
+		d.q.Instrument(
 			m.obs.reg.Gauge("core_dedicated_depth:"+name),
 			m.obs.reg.Counter("core_dedicated_dropped:"+name),
 		)
 	}
+	rec.dedicated.Store(d)
 	return nil
 }
 
@@ -366,8 +397,7 @@ func (m *Manager) DisableDedicatedThread(name string) error {
 	rec, ok := m.units[name]
 	var d *dedicatedRunner
 	if ok {
-		d = rec.dedicated
-		rec.dedicated = nil
+		d = rec.dedicated.Swap(nil)
 	}
 	m.mu.Unlock()
 	if !ok {
@@ -410,11 +440,11 @@ func (m *Manager) DedicatedThread(name string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rec, ok := m.units[name]
-	return ok && rec.dedicated != nil
+	return ok && rec.dedicated.Load() != nil
 }
 
 func (m *Manager) rewireLocked() {
-	m.stats.Rewires++
+	m.stats.rewires.Add(1)
 	var rewireStart time.Time
 	if m.obs != nil {
 		m.obs.rewires.Inc()
@@ -459,6 +489,7 @@ func (m *Manager) rewireLocked() {
 		}
 	}
 	m.chains = chains
+	m.plan.Store(m.buildPlanLocked())
 	m.syncBindingsLocked()
 	if m.obs != nil {
 		if m.obs.rewireLat != nil {
@@ -550,7 +581,9 @@ func (m *Manager) syncBindingsLocked() {
 }
 
 // emit routes ev from the named unit: through the remaining interposers for
-// its type, then to the terminals (broadcast or exclusive).
+// its type, then to the terminals (broadcast or exclusive). Routing reads
+// only the published plan — no manager lock, no allocation: target lists
+// were compiled at the last rewire.
 func (m *Manager) emit(from string, ev *event.Event) {
 	if m.obs != nil {
 		m.obs.emitted.Inc()
@@ -561,84 +594,70 @@ func (m *Manager) emit(from string, ev *event.Event) {
 			})
 		}
 	}
-	m.mu.Lock()
-	m.stats.Emitted++
-	ch, ok := m.chains[ev.Type]
-	if !ok {
-		m.stats.Dropped++
-		m.mu.Unlock()
-		if m.obs != nil {
-			m.obs.dropped.Inc()
-			if m.obs.tracer != nil {
-				m.obs.tracer.Record(m.clk.Now(), trace.Span{
-					Node: m.obs.nodeStr, Kind: trace.KindDrop,
-					Event: string(ev.Type), From: from, Corr: ev.Corr,
-				})
-			}
-		}
-		m.dispatchContextEvent(ev)
-		return
-	}
-	// Position of the emitter in the interposer chain.
-	next := 0
-	for i, name := range ch.interposers {
-		if name == from {
-			next = i + 1
-			break
-		}
-	}
-	if next < len(ch.interposers) {
-		rec := m.units[ch.interposers[next]]
-		model := m.model
-		m.mu.Unlock()
-		if rec != nil {
-			m.deliverBatch(from, []*unitRec{rec}, ev, model)
-		}
-		m.dispatchContextEvent(ev)
-		return
-	}
-	// Terminal stage.
+	m.stats.emitted.Add(1)
 	var targets []*unitRec
-	exclusiveSeen := false
-	for _, term := range ch.terminals {
-		if term.name == from {
-			continue
-		}
-		if term.exclusive {
-			if rec := m.units[term.name]; rec != nil {
-				targets = []*unitRec{rec}
-				exclusiveSeen = true
-			}
-			break
-		}
-	}
-	if !exclusiveSeen {
-		for _, term := range ch.terminals {
-			if term.name == from {
-				continue
-			}
-			if rec := m.units[term.name]; rec != nil {
-				targets = append(targets, rec)
-			}
+	if tp := m.plan.Load().byType[ev.Type]; tp != nil {
+		var ok bool
+		if targets, ok = tp.perFrom[from]; !ok {
+			targets = tp.def
 		}
 	}
 	if len(targets) == 0 {
-		m.stats.Dropped++
-		if m.obs != nil {
-			m.obs.dropped.Inc()
-			if m.obs.tracer != nil {
-				m.obs.tracer.Record(m.clk.Now(), trace.Span{
-					Node: m.obs.nodeStr, Kind: trace.KindDrop,
-					Event: string(ev.Type), From: from, Corr: ev.Corr,
-				})
-			}
+		// No chain for the type, or a chain whose compiled route is empty
+		// (no terminals beyond the emitter, or a vanished interposer): every
+		// such loss is counted and traced.
+		m.dropEvent(from, ev)
+		m.dispatchContextEvent(ev)
+		return
+	}
+	m.deliverBatch(from, targets, ev, Model(m.model.Load()))
+	m.dispatchContextEvent(ev)
+}
+
+// dropEvent accounts one undeliverable event.
+func (m *Manager) dropEvent(from string, ev *event.Event) {
+	m.stats.dropped.Add(1)
+	if m.obs != nil {
+		m.obs.dropped.Inc()
+		if m.obs.tracer != nil {
+			m.obs.tracer.Record(m.clk.Now(), trace.Span{
+				Node: m.obs.nodeStr, Kind: trace.KindDrop,
+				Event: string(ev.Type), From: from, Corr: ev.Corr,
+			})
 		}
 	}
-	model := m.model
-	m.mu.Unlock()
+}
 
-	m.deliverBatch(from, targets, ev, model)
-	m.dispatchContextEvent(ev)
+// runAccept enters the unit's critical section and hands it the event. A
+// unit detached while a stale plan (or an already-queued delivery) still
+// referenced it reports ErrNotDeployed; that loss is accounted as a drop
+// (with a drop span naming the vanished target) rather than vanishing
+// silently.
+func (m *Manager) runAccept(u Unit, ev *event.Event) {
+	sec := u.Section()
+	sec.Lock()
+	err := u.Accept(ev)
+	sec.Unlock()
+	m.accountAcceptErr(u, ev, err)
+}
+
+// accountAcceptErr records the delivery-to-detached-unit loss; any other
+// Accept error is the unit's own business (protocols count handler errors
+// themselves).
+func (m *Manager) accountAcceptErr(u Unit, ev *event.Event, err error) {
+	if err == nil || !errors.Is(err, ErrNotDeployed) {
+		return
+	}
+	m.stats.dropped.Add(1)
+	if m.obs != nil {
+		m.obs.dropped.Inc()
+		if m.obs.tracer != nil {
+			m.obs.tracer.Record(m.clk.Now(), trace.Span{
+				Node: m.obs.nodeStr, Kind: trace.KindDrop,
+				Event: string(ev.Type), To: u.Name(), Corr: ev.Corr,
+			})
+		}
+	}
 }
 
 // deliverBatch hands ev to each target under the active concurrency model.
@@ -647,19 +666,17 @@ func (m *Manager) emit(from string, ev *event.Event) {
 // further events mid-delivery.
 func (m *Manager) deliverBatch(from string, targets []*unitRec, ev *event.Event, model Model) {
 	if model == SingleThreaded {
-		m.mu.Lock()
+		m.dmu.Lock()
 		for _, rec := range targets {
-			m.stats.Delivered++
+			m.stats.delivered.Add(1)
 			if m.obs != nil {
 				m.obs.delivered.Inc()
 			}
-			if rec.dedicated != nil {
-				d := rec.dedicated
-				m.mu.Unlock()
+			if d := rec.dedicated.Load(); d != nil {
+				// enqueue never blocks (bounded TryPush), so the hand-off is
+				// safe under dmu.
 				if !d.enqueue(ev) {
-					m.mu.Lock()
-					m.stats.Dropped++
-					m.mu.Unlock()
+					m.stats.dropped.Add(1)
 					if m.obs != nil {
 						m.obs.dropped.Inc()
 					}
@@ -670,7 +687,6 @@ func (m *Manager) deliverBatch(from string, targets []*unitRec, ev *event.Event,
 						Corr: ev.Corr, QDepth: d.q.Len(),
 					})
 				}
-				m.mu.Lock()
 				continue
 			}
 			m.inlineQ.Push(inlineDelivery{rec: rec, ev: ev})
@@ -685,7 +701,7 @@ func (m *Manager) deliverBatch(from string, targets []*unitRec, ev *event.Event,
 		if m.draining {
 			// An outer frame on this (or another) goroutine is already
 			// draining; it will pick these up in order.
-			m.mu.Unlock()
+			m.dmu.Unlock()
 			return
 		}
 		m.draining = true
@@ -693,15 +709,12 @@ func (m *Manager) deliverBatch(from string, targets []*unitRec, ev *event.Event,
 			d, ok := m.inlineQ.Pop()
 			if !ok {
 				m.draining = false
-				m.mu.Unlock()
+				m.dmu.Unlock()
 				return
 			}
-			m.mu.Unlock()
-			sec := d.rec.unit.Section()
-			sec.Lock()
-			_ = d.rec.unit.Accept(d.ev)
-			sec.Unlock()
-			m.mu.Lock()
+			m.dmu.Unlock()
+			m.runAccept(d.rec.unit, d.ev)
+			m.dmu.Lock()
 		}
 	}
 	for _, rec := range targets {
@@ -714,10 +727,8 @@ func (m *Manager) deliverBatch(from string, targets []*unitRec, ev *event.Event,
 // emission order. SingleThreaded delivery goes through deliverBatch's
 // drain queue instead.
 func (m *Manager) deliver(from string, rec *unitRec, ev *event.Event, model Model) {
-	m.mu.Lock()
-	m.stats.Delivered++
-	dedicated := rec.dedicated
-	m.mu.Unlock()
+	m.stats.delivered.Add(1)
+	dedicated := rec.dedicated.Load()
 	if m.obs != nil {
 		m.obs.delivered.Inc()
 		if m.obs.tracer != nil {
@@ -735,9 +746,7 @@ func (m *Manager) deliver(from string, rec *unitRec, ev *event.Event, model Mode
 
 	if dedicated != nil {
 		if !dedicated.enqueue(ev) {
-			m.mu.Lock()
-			m.stats.Dropped++
-			m.mu.Unlock()
+			m.stats.dropped.Add(1)
 			if m.obs != nil {
 				m.obs.dropped.Inc()
 			}
@@ -755,18 +764,15 @@ func (m *Manager) deliver(from string, rec *unitRec, ev *event.Event, model Mode
 		go func() {
 			defer m.inflight.Done()
 			m.waitTicket(sec, ticket)
-			defer sec.Unlock()
-			_ = rec.unit.Accept(ev)
+			err := rec.unit.Accept(ev)
+			sec.Unlock()
+			m.accountAcceptErr(rec.unit, ev, err)
 		}()
 	case PerN:
-		m.mu.Lock()
-		workers := m.workers
-		m.mu.Unlock()
+		workers := m.workers.Load()
 		if workers == nil {
 			_ = m.SetModel(PerN)
-			m.mu.Lock()
-			workers = m.workers
-			m.mu.Unlock()
+			workers = m.workers.Load()
 		}
 		ticket := sec.Ticket()
 		if m.obs != nil {
@@ -776,8 +782,9 @@ func (m *Manager) deliver(from string, rec *unitRec, ev *event.Event, model Mode
 		err := workers.Submit(func() {
 			defer m.inflight.Done()
 			m.waitTicket(sec, ticket)
-			defer sec.Unlock()
-			_ = rec.unit.Accept(ev)
+			aerr := rec.unit.Accept(ev)
+			sec.Unlock()
+			m.accountAcceptErr(rec.unit, ev, aerr)
 		})
 		if err != nil {
 			// Pool closed: account the ticket to keep the lock serviceable.
@@ -789,9 +796,7 @@ func (m *Manager) deliver(from string, rec *unitRec, ev *event.Event, model Mode
 		// Unreachable for SingleThreaded (deliverBatch owns that path);
 		// defensively route through the drain queue rather than risking a
 		// re-entrant section acquisition.
-		m.mu.Lock()
-		m.stats.Delivered-- // deliverBatch will re-count
-		m.mu.Unlock()
+		m.stats.delivered.Add(^uint64(0)) // deliverBatch will re-count
 		m.deliverBatch(from, []*unitRec{rec}, ev, SingleThreaded)
 	}
 }
@@ -816,8 +821,8 @@ func (m *Manager) WaitIdle() {
 	m.mu.Lock()
 	runners := make([]*dedicatedRunner, 0, len(m.units))
 	for _, rec := range m.units {
-		if rec.dedicated != nil {
-			runners = append(runners, rec.dedicated)
+		if d := rec.dedicated.Load(); d != nil {
+			runners = append(runners, d)
 		}
 	}
 	m.mu.Unlock()
@@ -828,9 +833,12 @@ func (m *Manager) WaitIdle() {
 
 // Stats returns a snapshot of the framework counters.
 func (m *Manager) Stats() ManagerStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return ManagerStats{
+		Emitted:   m.stats.emitted.Load(),
+		Delivered: m.stats.delivered.Load(),
+		Dropped:   m.stats.dropped.Load(),
+		Rewires:   m.stats.rewires.Load(),
+	}
 }
 
 // Chain exposes the derived delivery chain for an event type (reflective,
@@ -856,7 +864,14 @@ func (m *Manager) Chain(t event.Type) (interposers, terminals []string) {
 func (m *Manager) SubscribeContext(pattern event.Type, fn func(*event.Event)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.subs = append(m.subs, ctxSub{pattern: pattern, fn: fn})
+	var cur []ctxSub
+	if p := m.subs.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]ctxSub, 0, len(cur)+1)
+	next = append(next, cur...)
+	next = append(next, ctxSub{pattern: pattern, fn: fn})
+	m.subs.Store(&next)
 }
 
 // AddContextPoller hides poll-based context sources behind the event facade
@@ -874,10 +889,11 @@ func (m *Manager) AddContextPoller(interval time.Duration, poll func() *event.Ev
 }
 
 func (m *Manager) dispatchContextEvent(ev *event.Event) {
-	m.mu.Lock()
-	subs := append([]ctxSub(nil), m.subs...)
-	m.mu.Unlock()
-	for _, s := range subs {
+	p := m.subs.Load()
+	if p == nil {
+		return
+	}
+	for _, s := range *p {
 		if m.ont.Matches(ev.Type, s.pattern) {
 			s.fn(ev)
 		}
@@ -953,16 +969,14 @@ func (m *Manager) Close() {
 	var dedicated []*dedicatedRunner
 	var protos []*Protocol
 	for _, rec := range m.units {
-		if rec.dedicated != nil {
-			dedicated = append(dedicated, rec.dedicated)
-			rec.dedicated = nil
+		if d := rec.dedicated.Swap(nil); d != nil {
+			dedicated = append(dedicated, d)
 		}
 		if p, ok := rec.unit.(*Protocol); ok {
 			protos = append(protos, p)
 		}
 	}
-	workers := m.workers
-	m.workers = nil
+	workers := m.workers.Swap(nil)
 	m.mu.Unlock()
 
 	for _, p := range protos {

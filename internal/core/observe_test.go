@@ -2,7 +2,6 @@ package core
 
 import (
 	"testing"
-	"time"
 
 	"manetkit/internal/event"
 	"manetkit/internal/metrics"
@@ -180,29 +179,39 @@ func TestObservabilityOverheadGuard(t *testing.T) {
 		t.Skip("benchmark resolution too coarse on this platform")
 	}
 
-	// Cost of the nil checks the instrumentation adds per dispatch: the
-	// manager sites touch one nil bundle check each on emit/deliver, plus
-	// the queue's nil instruments; model it as 8 nil-receiver calls, a
-	// strict over-count of the real disabled path.
-	var (
-		c *metrics.Counter
-		g *metrics.Gauge
-		h *metrics.Histogram
-		r *trace.Tracer
-	)
+	// Cost of the checks the instrumentation adds per dispatch. With the
+	// RCU dispatch plans the disabled steady-state path never calls an
+	// instrument method: every site is one nil-bundle pointer load plus a
+	// branch (one in emit, two per target delivery, two per handler demux —
+	// five on the direct path; the nil-safe queue instruments only exist on
+	// the dedicated-thread hand-off, which direct dispatch never takes).
+	// Model it as 8 such guarded branches, loaded through a real manager so
+	// the compiler cannot fold them — a strict over-count of the real path.
+	unobs, err := NewManager(Config{
+		Node:  mnet.MustParseAddr("10.0.0.9"),
+		Clock: vclock.NewVirtual(epoch),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unobs.Close()
+	// 1024 sites per benchmark op amortise the loop bookkeeping below the
+	// 1ns NsPerOp resolution; scale back down to the 8-site model.
+	const sitesPerOp = 1024
 	nilSite := testing.Benchmark(func(b *testing.B) {
+		n := 0
 		for i := 0; i < b.N; i++ {
-			c.Inc()
-			c.Inc()
-			c.Inc()
-			g.Set(1)
-			h.Observe(time.Millisecond)
-			h.Observe(time.Millisecond)
-			r.Record(epoch, trace.Span{})
-			r.Record(epoch, trace.Span{})
+			for s := 0; s < sitesPerOp; s++ {
+				if unobs.obs != nil {
+					n++
+				}
+			}
+		}
+		if n != 0 {
+			b.Fatalf("observability bundle unexpectedly present (%d)", n)
 		}
 	})
-	perSite := float64(nilSite.NsPerOp())
+	perSite := float64(nilSite.NsPerOp()) * 8 / sitesPerOp
 
 	ratio := perSite / perDispatch
 	t.Logf("dispatch=%.1fns nil-instrumentation=%.1fns overhead=%.2f%%",

@@ -1,0 +1,97 @@
+package core
+
+import "manetkit/internal/event"
+
+// The dispatch plan is the RCU half of the Framework Manager: every topology
+// mutation (Deploy, Undeploy, Rewire, SetTuple, concurrency-model changes
+// funnelled through Rewire) compiles the derived chains into an immutable
+// plan and publishes it via atomic.Pointer. The steady-state emit path then
+// routes with two map probes over immutable data — no manager mutex, no
+// per-emission target-list rebuild — while reconfiguration stays correct
+// because a plan is never mutated after publication: readers see either the
+// whole old topology or the whole new one.
+
+// typePlan is the compiled route for one concrete event type. Routing
+// depends on the emitter (its position in the interposer chain, and the
+// skip-self rule at the terminal stage), so the target list is resolved per
+// deployed emitter at compile time; emitters the deployment has never heard
+// of (context pollers, tests) use the default route, which is the route for
+// an emitter that appears nowhere in the chain.
+type typePlan struct {
+	perFrom map[string][]*unitRec
+	def     []*unitRec
+}
+
+// dispatchPlan is one immutable compilation of the whole event topology.
+type dispatchPlan struct {
+	byType map[event.Type]*typePlan
+}
+
+// emptyPlan routes nothing; it is published at construction so emit never
+// sees a nil plan.
+var emptyPlan = &dispatchPlan{byType: map[event.Type]*typePlan{}}
+
+// buildPlanLocked compiles m.chains into a fresh dispatch plan. Callers hold
+// m.mu, so the chains, unit records and deployment order are a consistent
+// snapshot.
+func (m *Manager) buildPlanLocked() *dispatchPlan {
+	plan := &dispatchPlan{byType: make(map[event.Type]*typePlan, len(m.chains))}
+	for t, ch := range m.chains {
+		tp := &typePlan{
+			perFrom: make(map[string][]*unitRec, len(m.order)),
+			def:     m.routeLocked(ch, ""),
+		}
+		for _, name := range m.order {
+			tp.perFrom[name] = m.routeLocked(ch, name)
+		}
+		plan.byType[t] = tp
+	}
+	return plan
+}
+
+// routeLocked resolves the delivery targets for one chain as seen by the
+// named emitter — the same decision emit used to make per event, hoisted to
+// compile time: the next interposer after the emitter if any remain,
+// otherwise the terminal stage (exclusive receive already resolved, the
+// emitter itself already skipped).
+func (m *Manager) routeLocked(ch *chain, from string) []*unitRec {
+	next := 0
+	for i, name := range ch.interposers {
+		if name == from {
+			next = i + 1
+			break
+		}
+	}
+	if next < len(ch.interposers) {
+		if rec := m.units[ch.interposers[next]]; rec != nil {
+			return []*unitRec{rec}
+		}
+		// Interposer without a unit record: nothing to deliver to. The
+		// empty route makes emit account the loss as a drop (with a drop
+		// span) instead of losing the event silently.
+		return nil
+	}
+	var targets []*unitRec
+	for _, term := range ch.terminals {
+		if term.name == from {
+			continue
+		}
+		if term.exclusive {
+			if rec := m.units[term.name]; rec != nil {
+				targets = []*unitRec{rec}
+			}
+			break
+		}
+	}
+	if targets == nil {
+		for _, term := range ch.terminals {
+			if term.name == from {
+				continue
+			}
+			if rec := m.units[term.name]; rec != nil {
+				targets = append(targets, rec)
+			}
+		}
+	}
+	return targets
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"manetkit/internal/event"
@@ -154,7 +155,7 @@ func (s *Source) start(p *Protocol) {
 		if !p.running() {
 			return
 		}
-		s.fn(&Context{proto: p, env: p.env})
+		s.fn(p.ctxFor(env))
 	}
 	s.periodic = vclock.NewPeriodic(env.Clock, s.interval, s.jitter, seed, fire)
 	if s.immediate {
@@ -182,6 +183,17 @@ type Stats struct {
 	Errors    uint64 // handler errors
 }
 
+// protoStats is the hot-path representation of Stats: per-event updates are
+// single atomic ops, never mutex acquisitions. Handled is incremented after
+// the handler returns, adjacent to Errors, so the two can no longer drift
+// apart across separate lock acquisitions; Stats() loads Errors first, so a
+// concurrent snapshot always observes Handled >= Errors.
+type protoStats struct {
+	delivered atomic.Uint64
+	handled   atomic.Uint64
+	errors    atomic.Uint64
+}
+
 // Protocol is the generic ManetProtocol CF (§4.2, Fig 3), instantiated and
 // tailored per ad-hoc routing protocol. It hosts the protocol's plug-in
 // Event Handlers and Event Sources, its Forward and State elements, and the
@@ -202,7 +214,12 @@ type Protocol struct {
 	obs      *protoObs // rebuilt on Attach, nil when observability is off
 	started  bool
 	dedic    bool // prefer the thread-per-ManetProtocol model
-	stats    Stats
+	stats    protoStats
+
+	// plan is the compiled demux state (pooled context, matched-handler
+	// tables), rebuilt whenever the handler set or deployment changes and
+	// read lock-free by Accept. Nil exactly when the protocol is unattached.
+	plan atomic.Pointer[acceptPlan]
 
 	// lifecycle hooks a concrete protocol installs
 	onInit  func(ctx *Context) error
@@ -329,6 +346,7 @@ func (p *Protocol) AddHandler(h Handler) error {
 	}
 	p.mu.Lock()
 	p.handlers = append(p.handlers, h)
+	p.rebuildAcceptPlanLocked()
 	p.mu.Unlock()
 	return nil
 }
@@ -346,6 +364,7 @@ func (p *Protocol) RemoveHandler(name string) error {
 			break
 		}
 	}
+	p.rebuildAcceptPlanLocked()
 	return nil
 }
 
@@ -362,10 +381,12 @@ func (p *Protocol) ReplaceHandler(name string, h Handler) error {
 	for i, old := range p.handlers {
 		if old.Name() == name {
 			p.handlers[i] = h
+			p.rebuildAcceptPlanLocked()
 			return nil
 		}
 	}
 	p.handlers = append(p.handlers, h)
+	p.rebuildAcceptPlanLocked()
 	return nil
 }
 
@@ -503,6 +524,7 @@ func (p *Protocol) Attach(env *Env) {
 	p.mu.Lock()
 	p.env = env
 	p.obs = newProtoObs(env)
+	p.rebuildAcceptPlanLocked()
 	p.mu.Unlock()
 }
 
@@ -512,6 +534,7 @@ func (p *Protocol) Detach() {
 	p.mu.Lock()
 	p.env = nil
 	p.obs = nil
+	p.rebuildAcceptPlanLocked()
 	p.mu.Unlock()
 }
 
@@ -608,35 +631,32 @@ func (p *Protocol) Started() bool { return p.running() }
 // Tracing reports whether the deployment this protocol is attached to
 // records trace spans — the gate for optional per-message work (such as
 // correlation-ID derivation) that only pays off when a tracer will see it.
+// Lock-free: hot paths consult it per message.
 func (p *Protocol) Tracing() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.env != nil && p.env.tracer != nil
+	plan := p.plan.Load()
+	return plan != nil && plan.env.tracer != nil
 }
 
 // Clock returns the deployment clock, or nil before the protocol is
 // deployed.
 func (p *Protocol) Clock() vclock.Clock {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.env == nil {
-		return nil
+	if plan := p.plan.Load(); plan != nil {
+		return plan.env.Clock
 	}
-	return p.env.Clock
+	return nil
 }
 
 // Emit pushes an event from this protocol into the framework from outside a
 // handler — the ManetControl push operation (IPush). Used by components that
 // receive stimuli from below the framework, such as the System CF's network
-// driver upcall.
+// driver upcall. Lock-free: the deployment environment rides the published
+// accept plan.
 func (p *Protocol) Emit(ev *event.Event) error {
-	p.mu.Lock()
-	env := p.env
-	p.mu.Unlock()
-	if env == nil {
+	plan := p.plan.Load()
+	if plan == nil {
 		return ErrNotDeployed
 	}
-	env.Emit(p.Name(), ev)
+	plan.env.Emit(p.Name(), ev)
 	return nil
 }
 
@@ -645,72 +665,88 @@ func (p *Protocol) Emit(ev *event.Event) error {
 // to interact with protocol state under the same atomicity guarantee as
 // event handlers.
 func (p *Protocol) RunLocked(fn func(*Context)) error {
-	p.mu.Lock()
-	env := p.env
-	p.mu.Unlock()
-	if env == nil {
+	plan := p.plan.Load()
+	if plan == nil {
 		return ErrNotDeployed
 	}
 	p.section.Lock()
 	defer p.section.Unlock()
-	fn(&Context{proto: p, env: env})
+	fn(plan.ctx)
 	return nil
 }
 
 // Accept implements Unit: the demux dispatches the event to every handler
 // whose pattern matches. The Framework Manager holds the critical section
-// when calling Accept, so handler execution is atomic.
+// when calling Accept, so handler execution is atomic. The steady-state path
+// reads only the published plan: no p.mu, no handler-slice copy, no
+// per-handler ontology walk, no Context allocation.
 func (p *Protocol) Accept(ev *event.Event) error {
-	p.mu.Lock()
-	env := p.env
-	if env == nil {
-		p.mu.Unlock()
+	plan := p.plan.Load()
+	if plan == nil {
 		return ErrNotDeployed
 	}
-	handlers := append([]Handler(nil), p.handlers...)
-	obs := p.obs
-	p.stats.Delivered++
-	p.mu.Unlock()
-
-	ctx := &Context{proto: p, env: env}
+	if plan.ontVersion != plan.ont.Version() {
+		// RegisterType re-shaped the hierarchy since compilation; the
+		// matched-handler tables may be stale. Rare, so recompile here.
+		if plan = p.rebuildAcceptPlan(); plan == nil {
+			return ErrNotDeployed
+		}
+	}
+	p.stats.delivered.Add(1)
 	var errs []error
-	for _, h := range handlers {
-		if !env.Ontology.Matches(ev.Type, h.Pattern()) {
-			continue
+	if matched, ok := plan.byType[ev.Type]; ok {
+		for _, h := range matched {
+			errs = p.runHandler(plan, h, ev, errs)
 		}
-		p.mu.Lock()
-		p.stats.Handled++
-		p.mu.Unlock()
-		if obs != nil && obs.tracer != nil {
-			obs.tracer.Record(env.Clock.Now(), trace.Span{
-				Node: obs.nodeStr, Kind: trace.KindHandle,
-				Event: string(ev.Type), To: p.Name(), Handler: h.Name(),
-				Corr: ev.Corr,
-			})
-		}
-		var err error
-		if obs != nil && obs.handlerLat != nil {
-			start := time.Now()
-			err = h.Handle(ctx, ev)
-			obs.handlerLat.Observe(time.Since(start))
-		} else {
-			err = h.Handle(ctx, ev)
-		}
-		if err != nil {
-			p.mu.Lock()
-			p.stats.Errors++
-			p.mu.Unlock()
-			errs = append(errs, fmt.Errorf("handler %q: %w", h.Name(), err))
+	} else {
+		// Type unknown to the ontology at compile time: match on the fly
+		// (identity and Any still apply; Matches is lock-free).
+		for _, h := range plan.handlers {
+			if !plan.ont.Matches(ev.Type, h.Pattern()) {
+				continue
+			}
+			errs = p.runHandler(plan, h, ev, errs)
 		}
 	}
 	return errors.Join(errs...)
 }
 
-// Stats returns a snapshot of the protocol's event counters.
+// runHandler invokes one matched handler with the plan's pooled context and
+// settles the per-event counters: Handled is counted when the handler
+// returns, immediately followed by Errors on failure.
+func (p *Protocol) runHandler(plan *acceptPlan, h Handler, ev *event.Event, errs []error) []error {
+	obs := plan.obs
+	if obs != nil && obs.tracer != nil {
+		obs.tracer.Record(plan.env.Clock.Now(), trace.Span{
+			Node: obs.nodeStr, Kind: trace.KindHandle,
+			Event: string(ev.Type), To: p.Name(), Handler: h.Name(),
+			Corr: ev.Corr,
+		})
+	}
+	var err error
+	if obs != nil && obs.handlerLat != nil {
+		start := time.Now()
+		err = h.Handle(plan.ctx, ev)
+		obs.handlerLat.Observe(time.Since(start))
+	} else {
+		err = h.Handle(plan.ctx, ev)
+	}
+	p.stats.handled.Add(1)
+	if err != nil {
+		p.stats.errors.Add(1)
+		errs = append(errs, fmt.Errorf("handler %q: %w", h.Name(), err))
+	}
+	return errs
+}
+
+// Stats returns a snapshot of the protocol's event counters. Errors is
+// loaded before Handled, so the snapshot never shows an error without its
+// handler invocation.
 func (p *Protocol) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	e := p.stats.errors.Load()
+	h := p.stats.handled.Load()
+	d := p.stats.delivered.Load()
+	return Stats{Delivered: d, Handled: h, Errors: e}
 }
 
 // Reconfigure quiesces the protocol and runs fn — arbitrary fine-grained

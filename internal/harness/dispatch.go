@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"manetkit/internal/core"
+	"manetkit/internal/event"
+	"manetkit/internal/mnet"
+	"manetkit/internal/vclock"
+)
+
+// Dispatch holds the steady-state event-path microbenchmarks: the cost of
+// one framework hop with observability disabled, in nanoseconds and heap
+// allocations per emitted event. The alloc counts are deterministic — the
+// RCU dispatch plans make the steady-state path allocation-free, and CI
+// gates on them staying exactly zero.
+type Dispatch struct {
+	DirectNs     float64 // provider -> requirer, one handler
+	DirectAllocs float64
+	ChainNs      float64 // provider -> interposer -> requirer
+	ChainAllocs  float64
+}
+
+// Print renders the measurements.
+func (d Dispatch) Print() {
+	fmt.Printf("%-34s %10s %12s\n", "event path (observability off)", "ns/op", "allocs/op")
+	fmt.Printf("%-34s %10.1f %12.0f\n", "direct (provider->requirer)", d.DirectNs, d.DirectAllocs)
+	fmt.Printf("%-34s %10.1f %12.0f\n", "interposed (one hop inserted)", d.ChainNs, d.ChainAllocs)
+}
+
+// MeasureDispatch benchmarks the bare framework event path, mirroring the
+// repo-level BenchmarkEventRouting workload so mkbench and `go test -bench`
+// gate the same numbers.
+func MeasureDispatch() (Dispatch, error) {
+	var d Dispatch
+	var err error
+	d.DirectNs, d.DirectAllocs, err = benchEmit(false)
+	if err != nil {
+		return d, err
+	}
+	d.ChainNs, d.ChainAllocs, err = benchEmit(true)
+	return d, err
+}
+
+func benchEmit(interposed bool) (nsPerOp, allocsPerOp float64, err error) {
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	mgr, err := core.NewManager(core.Config{
+		Node:  mnet.AddrFrom(0x0a000001),
+		Clock: vclock.NewVirtual(epoch),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer mgr.Close()
+
+	src := core.NewProtocol("src")
+	src.SetTuple(event.Tuple{Provided: []event.Type{event.HelloIn}})
+	units := []*core.Protocol{src}
+	if interposed {
+		mid := core.NewProtocol("mid")
+		mid.SetTuple(event.Tuple{
+			Provided: []event.Type{event.HelloIn},
+			Required: []event.Requirement{{Type: event.HelloIn}},
+		})
+		if err := mid.AddHandler(core.NewHandler("fwd", event.HelloIn,
+			func(ctx *core.Context, ev *event.Event) error {
+				ctx.Emit(ev)
+				return nil
+			})); err != nil {
+			return 0, 0, err
+		}
+		units = append(units, mid)
+	}
+	sink := core.NewProtocol("sink")
+	sink.SetTuple(event.Tuple{Required: []event.Requirement{{Type: event.HelloIn}}})
+	if err := sink.AddHandler(core.NewHandler("h", event.HelloIn,
+		func(*core.Context, *event.Event) error { return nil })); err != nil {
+		return 0, 0, err
+	}
+	units = append(units, sink)
+	for _, u := range units {
+		if err := mgr.Deploy(u); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	ev := &event.Event{Type: event.HelloIn}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := src.Emit(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return float64(res.NsPerOp()), float64(res.AllocsPerOp()), nil
+}
