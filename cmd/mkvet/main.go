@@ -1,0 +1,227 @@
+// mkvet runs MANETKit's invariant analyzers (internal/analysis) over Go
+// packages. It speaks cmd/go's vettool protocol, so the canonical invocation
+// is the one CI uses:
+//
+//	go build -o mkvet ./cmd/mkvet
+//	go vet -vettool=$(pwd)/mkvet ./...
+//
+// For convenience it also accepts package patterns directly — `mkvet ./...`
+// re-executes itself through `go vet -vettool`, which supplies per-package
+// type information via export data.
+//
+// Protocol notes (matching cmd/go/internal/work):
+//
+//   - `mkvet -flags` prints the tool's analyzer flags as JSON (none: "[]").
+//   - `mkvet -V=full` prints a "name version fingerprint" line that cmd/go
+//     folds into the vet cache key; we hash the executable so rebuilding the
+//     tool invalidates cached results.
+//   - otherwise the single argument is a vet.cfg JSON file describing one
+//     package: its Go files, an ImportMap from source import paths to
+//     canonical ones, and a PackageFile map to gc export data for every
+//     dependency. The tool must write the (possibly empty) facts file named
+//     by VetxOutput even for packages it does not analyze.
+//
+// Diagnostics go to stderr as file:line:col lines; any finding exits 2,
+// which go vet surfaces as a failure.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"manetkit/internal/analysis"
+)
+
+// modulePrefix limits analysis to this repository's packages; dependencies
+// (including the stdlib packages go vet also feeds through the tool) are
+// type-checked by their exporters, not re-analyzed here.
+const modulePrefix = "manetkit"
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-flags":
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V"):
+		printVersion()
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(unitcheck(args[0]))
+	default:
+		os.Exit(standalone(args))
+	}
+}
+
+// printVersion emits the cache-key line cmd/go parses from `tool -V=full`.
+func printVersion() {
+	fp := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				fp = fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("mkvet version devel buildID=%s\n", fp)
+}
+
+// standalone re-execs through `go vet -vettool=<self>` so cmd/go computes
+// the build graph and export data for us.
+func standalone(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mkvet: cannot locate own executable: %v\n", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "mkvet: go vet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON cmd/go writes for each package it vets.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+	GoVersion                 string
+}
+
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mkvet: reading %s: %v\n", cfgPath, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mkvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go requires the facts file regardless of whether we analyze.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("mkvet-facts-v1\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "mkvet: writing %s: %v\n", cfg.VetxOutput, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || !inModule(&cfg) {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "mkvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, cfg.compiler(), cfg.lookup)
+	info := analysis.NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // collect via Check's return; keep going past the first
+	}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "mkvet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := analysis.Run(fset, files, pkg, info, analysis.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mkvet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// compiler returns the export-data flavor for the importer; cmd/go sets
+// Compiler to "gc" in practice, but default defensively.
+func (cfg *vetConfig) compiler() string {
+	if cfg.Compiler != "" {
+		return cfg.Compiler
+	}
+	return "gc"
+}
+
+// lookup feeds dependency export data to the gc importer: the source import
+// path goes through ImportMap to its canonical path, which PackageFile maps
+// to the compiled export file cmd/go produced.
+func (cfg *vetConfig) lookup(path string) (io.ReadCloser, error) {
+	if canonical, ok := cfg.ImportMap[path]; ok {
+		path = canonical
+	}
+	file, ok := cfg.PackageFile[path]
+	if !ok {
+		return nil, fmt.Errorf("mkvet: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// inModule reports whether the package under vet belongs to this repository.
+// Test variants carry ImportPaths like "manetkit/internal/core.test" and
+// "manetkit/internal/core [manetkit/internal/core.test]", so prefix-match.
+func inModule(cfg *vetConfig) bool {
+	if cfg.Standard[cfg.ImportPath] {
+		return false
+	}
+	if cfg.ModulePath != "" {
+		return cfg.ModulePath == modulePrefix
+	}
+	return cfg.ImportPath == modulePrefix || strings.HasPrefix(cfg.ImportPath, modulePrefix+"/")
+}

@@ -1,0 +1,80 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"manetkit/internal/analysis"
+	"manetkit/internal/analysis/analysistest"
+)
+
+func TestDeterminismFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", "determ", analysis.Determinism)
+}
+
+func TestDeterminismSkipsVclock(t *testing.T) {
+	// The facade itself grounds Clock in package time: zero diagnostics.
+	analysistest.Run(t, "testdata", "vclock", analysis.Determinism)
+}
+
+func TestLockemitFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", "core", analysis.Lockemit)
+}
+
+func TestLockemitFromImportingPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", "lockuser", analysis.Lockemit)
+}
+
+func TestCtxleakFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", "ctxleakfix", analysis.Ctxleak)
+}
+
+func TestHotallocFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", "hotallocfix", analysis.Hotalloc)
+}
+
+func TestAtomicstatsFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", "atomicfix", analysis.Atomicstats)
+}
+
+func TestMalformedDirectivesReported(t *testing.T) {
+	fset, files, pkg, info := analysistest.Load(t, "testdata", "directivefix")
+	diags, err := analysis.Run(fset, files, pkg, info, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 mkdirective findings: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "mkdirective" {
+			t.Fatalf("unexpected analyzer %q in %s", d.Analyzer, d)
+		}
+		if !strings.Contains(d.Message, "malformed //mk:allow") {
+			t.Fatalf("unexpected message: %s", d)
+		}
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	all := analysis.All()
+	if len(all) != 5 {
+		t.Fatalf("suite has %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v is missing a name, doc or run function", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if analysis.ByName(a.Name) != a {
+			t.Fatalf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if analysis.ByName("nope") != nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}

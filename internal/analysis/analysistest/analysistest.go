@@ -1,0 +1,217 @@
+// Package analysistest runs mkvet analyzers over fixture packages, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixture sources live
+// under testdata/src/<pkg>, and every line expecting a diagnostic carries a
+//
+//	// want "regexp"
+//
+// comment (several per line allowed). The runner type-checks the fixture —
+// stdlib imports resolve from $GOROOT source, sibling fixture packages from
+// testdata/src — executes the analyzers, and fails the test on any
+// unmatched diagnostic or unsatisfied expectation.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"manetkit/internal/analysis"
+)
+
+// Run analyses the fixture package at testdata/src/<pkg> (relative to dir)
+// with the given analyzers and checks diagnostics against // want comments.
+func Run(t *testing.T, dir, pkg string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgDir := filepath.Join(dir, "src", pkg)
+	files, err := parseDir(fset, pkgDir)
+	if err != nil {
+		t.Fatalf("parsing fixture %s: %v", pkg, err)
+	}
+	info := analysis.NewInfo()
+	tpkg, err := typecheck(fset, pkg, filepath.Join(dir, "src"), files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkg, err)
+	}
+	diags, err := analysis.Run(fset, files, tpkg, info, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", pkg, err)
+	}
+	checkWants(t, fset, files, diags)
+}
+
+// Load parses and type-checks a fixture package and returns everything
+// needed to drive analysis.Run directly (for tests that assert on raw
+// diagnostics rather than // want comments).
+func Load(t *testing.T, dir, pkg string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, filepath.Join(dir, "src", pkg))
+	if err != nil {
+		t.Fatalf("parsing fixture %s: %v", pkg, err)
+	}
+	info := analysis.NewInfo()
+	tpkg, err := typecheck(fset, pkg, filepath.Join(dir, "src"), files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkg, err)
+	}
+	return fset, files, tpkg, info
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return fset.Position(files[i].Pos()).Filename < fset.Position(files[j].Pos()).Filename
+	})
+	return files, nil
+}
+
+// stdImporter type-checks stdlib packages from $GOROOT source; building it
+// is expensive, so one instance (with its own FileSet) is shared by every
+// fixture in the test binary.
+var (
+	stdOnce     sync.Once
+	stdImp      types.Importer
+	stdImpMu    sync.Mutex
+	fixtureMu   sync.Mutex
+	fixtureMemo = map[string]*types.Package{}
+)
+
+func stdImporter() types.Importer {
+	stdOnce.Do(func() {
+		stdImp = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	})
+	return stdImp
+}
+
+// fixtureImporter resolves sibling fixture packages from srcRoot first, then
+// falls back to the stdlib source importer.
+type fixtureImporter struct {
+	fset    *token.FileSet
+	srcRoot string
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(fi.srcRoot, path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		fixtureMu.Lock()
+		defer fixtureMu.Unlock()
+		if p, ok := fixtureMemo[dir]; ok {
+			return p, nil
+		}
+		files, err := parseDir(fi.fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := typecheckLocked(fi.fset, path, fi.srcRoot, files, analysis.NewInfo())
+		if err != nil {
+			return nil, err
+		}
+		fixtureMemo[dir] = pkg
+		return pkg, nil
+	}
+	stdImpMu.Lock()
+	defer stdImpMu.Unlock()
+	return stdImporter().Import(path)
+}
+
+func typecheck(fset *token.FileSet, path, srcRoot string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	return typecheckLocked(fset, path, srcRoot, files, info)
+}
+
+func typecheckLocked(fset *token.FileSet, path, srcRoot string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	conf := &types.Config{
+		Importer: &fixtureImporter{fset: fset, srcRoot: srcRoot},
+	}
+	return conf.Check(path, fset, files, info)
+}
+
+// --- want-comment matching --------------------------------------------------
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	line    int
+	file    string
+	matched bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		fileName := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", fileName, line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", fileName, line, pat, err)
+					}
+					wants = append(wants, &expectation{re: re, raw: pat, line: line, file: fileName})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) || w.re.MatchString(d.Analyzer+": "+d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicstats enforces all-or-nothing atomic discipline per struct field,
+// the rule behind the Errors <= Handled <= Delivered stats snapshot
+// invariant (core/protocol.go): once any access to a field goes through
+// sync/atomic (atomic.AddUint64(&s.f, 1) style), every access must — a
+// plain load can observe a torn or stale value and break snapshot ordering,
+// and a plain store can lose concurrent increments entirely.
+//
+// Fields of the typed atomic kinds (atomic.Uint64, atomic.Pointer[T], ...)
+// are safe by construction and need no checking; the analyzer exists for the
+// pointer-based API, where the compiler cannot see the discipline.
+var Atomicstats = &Analyzer{
+	Name: "atomicstats",
+	Doc: "a struct field accessed via sync/atomic functions anywhere in the " +
+		"package must never be read or written non-atomically elsewhere " +
+		"(preserves stats snapshot ordering such as Errors <= Handled <= Delivered)",
+	Run: runAtomicstats,
+}
+
+// fieldKey identifies a struct field across the package.
+type fieldKey struct {
+	typ   *types.TypeName
+	field string
+}
+
+func runAtomicstats(pass *Pass) error {
+	atomicFields := map[fieldKey]bool{}
+	inAtomicArg := map[*ast.SelectorExpr]bool{}
+
+	// Pass 1: every &x.f handed to a sync/atomic function marks (type, f),
+	// and the selector itself is remembered as a sanctioned access.
+	forEachNode(pass.Files, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := funcOf(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || recvNamed(fn) != nil {
+			return
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := fieldKeyOf(pass, sel); ok {
+				atomicFields[key] = true
+				inAtomicArg[sel] = true
+			}
+		}
+	})
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other access to a marked field is a violation.
+	forEachNode(pass.Files, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || inAtomicArg[sel] {
+			return
+		}
+		key, ok := fieldKeyOf(pass, sel)
+		if !ok || !atomicFields[key] {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s.%s is accessed via sync/atomic elsewhere in this package; this plain access can tear or lose updates — use the atomic API here too (or migrate the field to a typed atomic)",
+			key.typ.Name(), key.field)
+	})
+	return nil
+}
+
+func forEachNode(files []*ast.File, fn func(ast.Node)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn(n)
+			return true
+		})
+	}
+}
+
+// fieldKeyOf resolves expr as a field selection on a named struct type.
+func fieldKeyOf(pass *Pass, expr ast.Expr) (fieldKey, bool) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return fieldKey{}, false
+	}
+	sl, ok := pass.Info.Selections[sel]
+	if !ok || sl.Kind() != types.FieldVal {
+		return fieldKey{}, false
+	}
+	recv := namedOf(sl.Recv())
+	if recv == nil {
+		return fieldKey{}, false
+	}
+	return fieldKey{typ: recv.Obj(), field: sl.Obj().Name()}, true
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxleak polices the pooled handler Context of the accept plan
+// (core/accept_plan.go). One *core.Context value is compiled per protocol
+// and reused for every delivery under the current plan; retaining it beyond
+// the handler invocation aliases later deliveries' context (and, if a future
+// plan swaps the environment, a stale one). The analyzer tracks every
+// function parameter of type *core.Context (and its direct local aliases)
+// and reports when the value can outlive the call:
+//
+//   - stored into a struct field, map/slice element, or package-level var
+//   - appended to a slice or placed in a composite literal
+//   - sent on a channel or returned
+//   - captured by a closure handed to a deferred executor (go statements,
+//     Clock.AfterFunc, vclock.NewPeriodic, pool Submit, ScheduleAt)
+//
+// The sanctioned idiom for timers is re-entry: schedule a closure that calls
+// Protocol.RunLocked and receives a fresh context (see aodv/dymo retries).
+var Ctxleak = &Analyzer{
+	Name: "ctxleak",
+	Doc: "forbid retaining the pooled *core.Context beyond the handler call: " +
+		"no stores to fields/globals/containers, no returns or channel sends, " +
+		"no capture by deferred closures; re-enter via Protocol.RunLocked instead",
+	Run: runCtxleak,
+}
+
+// deferredExecutors name call targets whose function-literal arguments run
+// after the current call returns.
+var deferredExecutors = map[string]bool{
+	"AfterFunc": true, "NewPeriodic": true, "Submit": true, "ScheduleAt": true,
+}
+
+func runCtxleak(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkCtxFunc(pass, fd.Type, fd.Body)
+			}
+		}
+		// Function literals at any depth get the same treatment.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkCtxFunc(pass, lit.Type, lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isCoreContextPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return namedIn(p.Elem(), "core", "Context")
+}
+
+// checkCtxFunc analyses one function whose signature binds *core.Context
+// parameters.
+func checkCtxFunc(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	tracked := map[types.Object]bool{}
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				obj := pass.Info.Defs[name]
+				if obj != nil && isCoreContextPtr(obj.Type()) {
+					tracked[obj] = true
+				}
+			}
+		}
+	}
+	if len(tracked) == 0 {
+		return
+	}
+	// One aliasing pass: `c := ctx` makes c tracked too.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && tracked[pass.Info.Uses[id]] {
+				if lid, ok := as.Lhs[i].(*ast.Ident); ok {
+					if def := pass.Info.Defs[lid]; def != nil {
+						tracked[def] = true
+					} else if use := pass.Info.Uses[lid]; use != nil && use.Parent() != nil && use.Parent() != pass.Pkg.Scope() {
+						tracked[use] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	isTracked := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && tracked[pass.Info.Uses[id]]
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) || !isTracked(rhs) {
+					continue
+				}
+				switch lhs := s.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					pass.Reportf(s.Pos(), "pooled *core.Context stored into field %s: it is recycled after the handler returns; re-enter via Protocol.RunLocked instead", lhs.Sel.Name)
+				case *ast.IndexExpr:
+					pass.Reportf(s.Pos(), "pooled *core.Context stored into a map/slice element outlives the handler; re-enter via Protocol.RunLocked instead")
+				case *ast.Ident:
+					if obj := pass.Info.Uses[lhs]; obj != nil && obj.Parent() == pass.Pkg.Scope() {
+						pass.Reportf(s.Pos(), "pooled *core.Context stored into package-level var %s outlives the handler", lhs.Name)
+					}
+				case *ast.StarExpr:
+					pass.Reportf(s.Pos(), "pooled *core.Context stored through a pointer may outlive the handler")
+				}
+			}
+		case *ast.SendStmt:
+			if isTracked(s.Value) {
+				pass.Reportf(s.Pos(), "pooled *core.Context sent on a channel outlives the handler")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if isTracked(r) {
+					pass.Reportf(s.Pos(), "pooled *core.Context returned from the handler escapes its delivery")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range s.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isTracked(v) {
+					pass.Reportf(v.Pos(), "pooled *core.Context placed in a composite literal may outlive the handler")
+				}
+			}
+		case *ast.CallExpr:
+			if fun, ok := ast.Unparen(s.Fun).(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" {
+					for _, a := range s.Args[1:] {
+						if isTracked(a) {
+							pass.Reportf(a.Pos(), "pooled *core.Context appended to a slice outlives the handler")
+						}
+					}
+					return true
+				}
+			}
+			checkDeferredCapture(pass, s, tracked)
+		case *ast.GoStmt:
+			reportCtxCapture(pass, s.Call, tracked, "a goroutine")
+		}
+		return true
+	})
+}
+
+// checkDeferredCapture flags closures capturing a tracked context when they
+// are handed to a deferred executor (timers, periodics, worker pools).
+func checkDeferredCapture(pass *Pass, call *ast.CallExpr, tracked map[types.Object]bool) {
+	var calleeName string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		calleeName = fun.Sel.Name
+	case *ast.Ident:
+		calleeName = fun.Name
+	}
+	if !deferredExecutors[calleeName] {
+		return
+	}
+	reportCtxCapture(pass, call, tracked, calleeName)
+}
+
+func reportCtxCapture(pass *Pass, call *ast.CallExpr, tracked map[types.Object]bool, where string) {
+	exprs := append([]ast.Expr{call.Fun}, call.Args...)
+	for _, a := range exprs {
+		lit, ok := ast.Unparen(a).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && tracked[pass.Info.Uses[id]] {
+				pass.Reportf(id.Pos(), "pooled *core.Context captured by a closure passed to %s runs after the handler returns; re-enter via Protocol.RunLocked instead", where)
+				return false
+			}
+			return true
+		})
+	}
+	// The context passed directly as an argument to a deferred executor.
+	for _, a := range call.Args {
+		if id, ok := ast.Unparen(a).(*ast.Ident); ok && tracked[pass.Info.Uses[id]] {
+			pass.Reportf(id.Pos(), "pooled *core.Context passed to %s outlives the handler", where)
+		}
+	}
+}

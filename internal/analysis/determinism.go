@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package time entry points that read or schedule on
+// the wall clock. Pure arithmetic (time.Duration, time.Unix, Parse, ...) is
+// deterministic and allowed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "Sleep": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// globalRandConstructors are the math/rand entry points that build an
+// explicitly seeded generator; everything else at package level draws from
+// the shared, unseeded source.
+var globalRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 seeded constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Determinism flags wall-clock and global-randomness use outside the vclock
+// facade. Everything feeding golden traces, chaos fingerprints or mkbench
+// baselines must take its time from vclock.Clock (so virtual-clock runs are
+// byte-for-byte reproducible) and its randomness from an explicitly seeded
+// *rand.Rand. Test files are exempt: wall-clock watchdogs around a virtual
+// run are fine.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now/Since/After/Sleep/Tick/NewTimer/NewTicker/AfterFunc and " +
+		"unseeded math/rand outside internal/vclock; deterministic paths must use " +
+		"the deployment clock (vclock.Clock) and seeded generators",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if pkgIs(pass.Pkg, "vclock") {
+		// The facade itself grounds Clock in package time.
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || recvNamed(fn) != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s bypasses the deployment clock; use vclock.Clock (Now/Since/AfterFunc) so virtual-clock runs stay deterministic, or annotate //mk:allow determinism <reason>",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !globalRandConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s draws from the global unseeded source; use a seeded rand.New(rand.NewSource(seed)) so runs are reproducible, or annotate //mk:allow determinism <reason>",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

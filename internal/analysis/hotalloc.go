@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotalloc is the static complement of the runtime det(0) allocation gate
+// (harness.MeasureDispatch / mkbench -ablation dispatch): functions marked
+//
+//	//mk:hotpath
+//
+// in their doc comment are the steady-state dispatch path, benchmarked at
+// zero allocations per operation. The analyzer rejects syntax that commonly
+// compiles to a heap allocation:
+//
+//   - function literals (closures) and `go` statements
+//   - make/new calls
+//   - slice and map composite literals, and &T{...} (escaping candidates;
+//     plain value struct literals like trace.Span{...} stay on the stack and
+//     are allowed)
+//   - append (growth allocates)
+//   - any reference into package fmt
+//   - string <-> []byte/[]rune conversions
+//
+// Cold sub-paths inside a hot function (error handling, contended-lock
+// parking) carry a justified //mk:allow hotalloc.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid likely-allocating syntax (closures, go, make/new, &T{...}, " +
+		"slice/map literals, append, fmt, string<->[]byte conversions) in " +
+		"//mk:hotpath functions — the static half of the det(0) alloc gate",
+	Run: runHotalloc,
+}
+
+func runHotalloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(e.Pos(), "go statement in //mk:hotpath %s allocates a goroutine", fd.Name.Name)
+		case *ast.FuncLit:
+			pass.Reportf(e.Pos(), "closure in //mk:hotpath %s may allocate its capture environment", fd.Name.Name)
+			return false // the literal runs elsewhere; don't double-report its body
+		case *ast.CompositeLit:
+			t := pass.TypeOf(e)
+			under := t
+			if n := namedOf(t); n != nil {
+				under = n.Underlying()
+			}
+			switch under.(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(e.Pos(), "slice/map literal in //mk:hotpath %s allocates", fd.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if e.Op.String() == "&" {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					pass.Reportf(e.Pos(), "&composite literal in //mk:hotpath %s escapes to the heap", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, e)
+		case *ast.SelectorExpr:
+			if fn, ok := pass.Info.Uses[e.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				pass.Reportf(e.Pos(), "fmt.%s in //mk:hotpath %s allocates (formatting boxes arguments)", fn.Name(), fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := pass.Info.Uses[fun].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s in //mk:hotpath %s allocates", obj.Name(), fd.Name.Name)
+			case "append":
+				pass.Reportf(call.Pos(), "append in //mk:hotpath %s allocates on growth", fd.Name.Name)
+			}
+			return
+		}
+	}
+	// Conversion string([]byte), []byte(string), []rune(string), string([]rune).
+	if len(call.Args) != 1 {
+		return
+	}
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		to := tv.Type
+		from := pass.TypeOf(call.Args[0])
+		if from == nil {
+			return
+		}
+		if (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from)) {
+			pass.Reportf(call.Pos(), "string<->[]byte/[]rune conversion in //mk:hotpath %s copies and allocates", fd.Name.Name)
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,355 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockemit flags framework entry points invoked while a framework lock is
+// held. Emitting an event or triggering a reconfiguration from inside
+// Manager.mu, Protocol.mu or a unit's TicketMutex critical section is the
+// deadlock/stall class the RCU dispatch plan was built to avoid: emit
+// delivers into critical sections, and the reconfiguration surface takes the
+// manager mutex, so re-entering either from under a framework lock inverts
+// the lock order (Manager.mu -> Protocol.mu -> section).
+//
+// The analysis is intra-procedural: it tracks Lock/Unlock pairs (including
+// TicketMutex Wait-redemption) through straight-line code and branches,
+// treating `defer mu.Unlock()` as held-to-return, and reports any call to a
+// banned entry point while a guard is held.
+var Lockemit = &Analyzer{
+	Name: "lockemit",
+	Doc: "forbid Env.Emit/Context.Emit/Protocol.Emit and the reconfiguration " +
+		"surface (Manager.Deploy/Undeploy/Rewire/SetModel/Quiesce/Close, " +
+		"Protocol.SetTuple) while holding Manager.mu, Protocol.mu or a TicketMutex",
+	Run: runLockemit,
+}
+
+// bannedWhileLocked maps receiver type name -> method set. All types live in
+// the core package.
+var bannedWhileLocked = map[string]map[string]bool{
+	"Manager": {
+		"Deploy": true, "Undeploy": true, "Rewire": true,
+		"SetModel": true, "Quiesce": true, "Close": true,
+	},
+	"Protocol": {"SetTuple": true, "Emit": true},
+	"Env":      {"Emit": true},
+	"Context":  {"Emit": true},
+}
+
+func runLockemit(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			le := &lockEmitWalker{pass: pass}
+			le.walkFunc(fd.Body)
+		}
+	}
+	return nil
+}
+
+// lockEmitWalker runs a small abstract interpretation over one function body
+// (function literals are walked as their own scopes: a closure does not
+// inherit the creating function's lock state, because it typically runs
+// later on another goroutine or under the framework's own locking).
+type lockEmitWalker struct {
+	pass *Pass
+}
+
+// lockState is the set of held guards, keyed by the printed guard expression.
+type lockState map[string]bool
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (w *lockEmitWalker) walkFunc(body *ast.BlockStmt) {
+	w.walkStmts(body.List, lockState{})
+}
+
+// walkStmts interprets stmts under state, returning the resulting state and
+// whether control definitely leaves the function (return/panic).
+func (w *lockEmitWalker) walkStmts(stmts []ast.Stmt, state lockState) (lockState, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		state, terminated = w.walkStmt(stmt, state)
+		if terminated {
+			return state, true
+		}
+	}
+	return state, false
+}
+
+func (w *lockEmitWalker) walkStmt(stmt ast.Stmt, state lockState) (lockState, bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		w.checkExpr(s.X, state)
+		state = w.applyGuards(s.X, state)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases at return, not here: the guard stays
+		// held for everything that follows. Other deferred calls are checked
+		// under the current state (they run while any still-held guard from
+		// a bare Lock remains held at return; conservative but cheap).
+		if w.guardKey(s.Call, "Unlock") == "" {
+			w.checkExpr(s.Call, state)
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently, without this frame's locks.
+		w.walkCallFunLit(s.Call)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.checkExpr(rhs, state)
+			state = w.applyGuards(rhs, state)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkExpr(r, state)
+		}
+		return state, true
+	case *ast.BranchStmt:
+		// break/continue/goto: approximate as fallthrough.
+	case *ast.IfStmt:
+		if s.Init != nil {
+			state, _ = w.walkStmt(s.Init, state)
+		}
+		w.checkExpr(s.Cond, state)
+		thenState, thenTerm := w.walkStmts(s.Body.List, state.clone())
+		elseState, elseTerm := state.clone(), false
+		if s.Else != nil {
+			elseState, elseTerm = w.walkStmt(s.Else, state.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return state, true
+		case thenTerm:
+			return elseState, false
+		case elseTerm:
+			return thenState, false
+		default:
+			return union(thenState, elseState), false
+		}
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, state)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			state, _ = w.walkStmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, state)
+		}
+		bodyState, term := w.walkStmts(s.Body.List, state.clone())
+		if term {
+			// Body always returns: code after the loop only runs when the
+			// loop body never ran.
+			return state, false
+		}
+		return union(state, bodyState), false
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, state)
+		bodyState, term := w.walkStmts(s.Body.List, state.clone())
+		if term {
+			return state, false
+		}
+		return union(state, bodyState), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			state, _ = w.walkStmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, state)
+		}
+		return w.walkCases(s.Body, state)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			state, _ = w.walkStmt(s.Init, state)
+		}
+		return w.walkCases(s.Body, state)
+	case *ast.SelectStmt:
+		return w.walkCases(s.Body, state)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, state)
+	case *ast.SendStmt:
+		w.checkExpr(s.Value, state)
+	case *ast.IncDecStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		if ds, ok := stmt.(*ast.DeclStmt); ok {
+			ast.Inspect(ds, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					w.checkExpr(e, state)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return state, false
+}
+
+// walkCases merges the states of all case bodies of a switch/select.
+func (w *lockEmitWalker) walkCases(body *ast.BlockStmt, state lockState) (lockState, bool) {
+	merged := lockState(nil)
+	allTerm := len(body.List) > 0
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			stmts = c.Body
+		}
+		caseState, term := w.walkStmts(stmts, state.clone())
+		if !term {
+			allTerm = false
+			if merged == nil {
+				merged = caseState
+			} else {
+				merged = union(merged, caseState)
+			}
+		}
+	}
+	if allTerm {
+		return state, true
+	}
+	if merged == nil {
+		merged = state
+	}
+	// A switch may fall through all cases without matching.
+	return union(merged, state), false
+}
+
+func union(a, b lockState) lockState {
+	out := a.clone()
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// applyGuards updates the lock state for Lock/Wait/Unlock calls appearing in
+// expr (including inside call chains). Function literals are skipped: their
+// acquisitions happen in their own scope, not the current frame's.
+func (w *lockEmitWalker) applyGuards(expr ast.Expr, state lockState) lockState {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key := w.guardKey(call, "Lock"); key != "" {
+			state[key] = true
+		} else if key := w.guardKey(call, "Wait"); key != "" {
+			// TicketMutex.Wait redeems a ticket: it enters the section.
+			state[key] = true
+		} else if key := w.guardKey(call, "Unlock"); key != "" {
+			delete(state, key)
+		}
+		return true
+	})
+	return state
+}
+
+// guardKey returns a stable key when call is <guard>.<method>() on a tracked
+// framework lock: a TicketMutex anywhere, or a sync.Mutex/RWMutex field of
+// core.Manager / core.Protocol.
+func (w *lockEmitWalker) guardKey(call *ast.CallExpr, method string) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return ""
+	}
+	recv := ast.Unparen(sel.X)
+	rt := w.pass.TypeOf(recv)
+	if rt == nil {
+		return ""
+	}
+	if namedIn(rt, "core", "TicketMutex") {
+		if method == "Wait" && len(call.Args) != 1 {
+			return ""
+		}
+		return types.ExprString(recv)
+	}
+	if method == "Wait" {
+		return "" // sync.Cond.Wait and friends are not acquisitions
+	}
+	// A mutex field on Manager or Protocol: <owner>.<field>.Lock().
+	fieldSel, ok := recv.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if n := namedOf(rt); n == nil || n.Obj().Pkg() == nil || !isSyncMutex(n) {
+		return ""
+	}
+	ownerType := w.pass.TypeOf(fieldSel.X)
+	if ownerType == nil {
+		return ""
+	}
+	if namedIn(ownerType, "core", "Manager") || namedIn(ownerType, "core", "Protocol") {
+		return types.ExprString(recv)
+	}
+	return ""
+}
+
+func isSyncMutex(n *types.Named) bool {
+	name := n.Obj().Name()
+	return (name == "Mutex" || name == "RWMutex") && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync"
+}
+
+// checkExpr reports banned calls found anywhere in expr while a guard is
+// held. Function literals are walked as fresh scopes.
+func (w *lockEmitWalker) checkExpr(expr ast.Expr, state lockState) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			w.walkFunc(e.Body)
+			return false
+		case *ast.CallExpr:
+			if len(state) == 0 {
+				return true
+			}
+			fn := funcOf(w.pass.Info, e)
+			if fn == nil {
+				return true
+			}
+			recv := recvNamed(fn)
+			if recv == nil || !pkgIs(recv.Obj().Pkg(), "core") {
+				return true
+			}
+			if methods, ok := bannedWhileLocked[recv.Obj().Name()]; ok && methods[fn.Name()] {
+				w.pass.Reportf(e.Pos(),
+					"%s.%s called while holding %s: emit/reconfigure under a framework lock inverts the Manager.mu -> Protocol.mu -> section order and can deadlock or stall dispatch; release the lock first or annotate //mk:allow lockemit <reason>",
+					recv.Obj().Name(), fn.Name(), heldNames(state))
+			}
+		}
+		return true
+	})
+}
+
+// walkCallFunLit walks `go f(...)` bodies when f is a literal.
+func (w *lockEmitWalker) walkCallFunLit(call *ast.CallExpr) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		w.walkFunc(lit.Body)
+	}
+	for _, a := range call.Args {
+		if lit, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+			w.walkFunc(lit.Body)
+		}
+	}
+}
+
+func heldNames(state lockState) string {
+	names := make([]string, 0, len(state))
+	for k := range state {
+		names = append(names, k)
+	}
+	sort.Strings(names) // deterministic order for diagnostics
+	return strings.Join(names, ", ")
+}

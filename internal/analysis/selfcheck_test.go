@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsMkvetClean is the suite's self-check: it builds cmd/mkvet and
+// runs it over the whole module through the real `go vet -vettool` protocol,
+// asserting zero diagnostics. Every invariant the analyzers encode must hold
+// in this repository (or carry a justified //mk:allow), so a regression in
+// either the code or the analyzers fails here before it fails in CI.
+func TestRepoIsMkvetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping full-module vet run")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+	tool := filepath.Join(t.TempDir(), "mkvet")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/mkvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building mkvet: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("mkvet found violations (or failed): %v\n%s", err, out)
+	}
+}

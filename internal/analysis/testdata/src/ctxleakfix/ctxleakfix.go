@@ -1,0 +1,89 @@
+// Package ctxleakfix exercises the ctxleak analyzer: every way the pooled
+// *core.Context can escape its handler invocation, and the sanctioned
+// RunLocked re-entry idiom that must stay silent.
+package ctxleakfix
+
+import "core"
+
+type keeper struct {
+	ctx *core.Context
+}
+
+var globalCtx *core.Context
+
+type registry struct {
+	byName map[string]*core.Context
+}
+
+func storeField(k *keeper, ctx *core.Context, ev *core.Event) {
+	k.ctx = ctx // want "stored into field ctx"
+}
+
+func storeAlias(k *keeper, ctx *core.Context) {
+	c := ctx
+	k.ctx = c // want "stored into field ctx"
+}
+
+func storeGlobal(ctx *core.Context) {
+	globalCtx = ctx // want "package-level var globalCtx"
+}
+
+func storeMap(r *registry, ctx *core.Context) {
+	r.byName["x"] = ctx // want "map/slice element"
+}
+
+func giveBack(ctx *core.Context) *core.Context {
+	return ctx // want "returned from the handler"
+}
+
+func sendAway(ch chan *core.Context, ctx *core.Context) {
+	ch <- ctx // want "sent on a channel"
+}
+
+func appendSlice(dst []*core.Context, ctx *core.Context) {
+	_ = append(dst, ctx) // want "appended to a slice"
+}
+
+func inLiteral(ctx *core.Context) {
+	_ = []*core.Context{ctx} // want "composite literal"
+}
+
+func timerCapture(ctx *core.Context, clk core.Clock) {
+	clk.AfterFunc(10, func() {
+		ctx.Emit(&core.Event{}) // want "captured by a closure passed to AfterFunc"
+	})
+}
+
+func goroutineCapture(ctx *core.Context) {
+	go func() {
+		ctx.Emit(&core.Event{}) // want "captured by a closure passed to a goroutine"
+	}()
+}
+
+func directArg(ctx *core.Context, clk core.Clock) {
+	_ = clk         // executor called with the context itself, not a closure
+	ScheduleAt(ctx) // want "passed to ScheduleAt"
+}
+
+// ScheduleAt stands in for a deferred executor taking the context directly.
+func ScheduleAt(ctx *core.Context) {}
+
+// --- negative space -----------------------------------------------------
+
+func plainUse(ctx *core.Context, ev *core.Event) {
+	ctx.Emit(ev) // synchronous use inside the handler: ok
+}
+
+func reentry(p *core.Protocol, ctx *core.Context, dst string) {
+	// The sanctioned timer idiom: the closure re-enters through RunLocked
+	// and receives a fresh context; the pooled one is never captured.
+	ctx.Clock().AfterFunc(10, func() {
+		_ = p.RunLocked(func(ctx *core.Context) {
+			ctx.Emit(&core.Event{Type: dst})
+		})
+	})
+}
+
+func allowedStore(k *keeper, ctx *core.Context) {
+	k.ctx = ctx //mk:allow ctxleak test shim retains the context deliberately
+}

@@ -1,0 +1,45 @@
+// Package determ exercises the determinism analyzer: wall-clock reads and
+// unseeded global randomness are flagged; duration arithmetic, seeded
+// generators and //mk:allow waivers are not.
+package determ
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() {
+	_ = time.Now()                // want "time.Now bypasses the deployment clock"
+	time.Sleep(time.Millisecond)  // want "time.Sleep bypasses the deployment clock"
+	_ = time.Since(time.Time{})   // want "time.Since bypasses the deployment clock"
+	_ = <-time.After(time.Second) // want "time.After bypasses the deployment clock"
+	t := time.NewTimer(0)         // want "time.NewTimer bypasses the deployment clock"
+	t.Stop()
+}
+
+func globalRand() {
+	_ = rand.Intn(10)  // want "rand.Intn draws from the global unseeded source"
+	_ = rand.Float64() // want "rand.Float64 draws from the global unseeded source"
+}
+
+func deterministic() {
+	r := rand.New(rand.NewSource(42)) // seeded constructor: ok
+	_ = r.Intn(10)                    // method on the seeded *rand.Rand: ok
+	_ = 5 * time.Millisecond
+	_ = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC) // pure construction: ok
+	_ = time.Unix(0, 0)
+}
+
+func allowedInline() {
+	_ = time.Now() //mk:allow determinism fixture marks a wall-clock boundary
+}
+
+func allowedLineAbove() {
+	//mk:allow determinism fixture marks a wall-clock boundary
+	_ = time.Now()
+}
+
+//mk:allow determinism whole function is a wall-clock boundary
+func allowedWholeFunc() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,11 @@
+// Package directivefix carries malformed //mk:allow directives; the runner
+// test asserts the mkdirective diagnostics directly (want comments cannot
+// share a line with the directive under test).
+package directivefix
+
+func placeholder() int {
+	//mk:allow
+	x := 1
+	//mk:allow determinism
+	return x + 1
+}

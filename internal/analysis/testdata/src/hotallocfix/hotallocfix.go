@@ -1,0 +1,102 @@
+// Package hotallocfix exercises the hotalloc analyzer: allocating syntax
+// inside //mk:hotpath functions is flagged, value-typed struct literals and
+// unmarked functions are not, and //mk:allow hotalloc suppresses cold
+// sub-paths.
+package hotallocfix
+
+import "fmt"
+
+type span struct{ a, b int }
+
+func drain(vals []int) {}
+
+//mk:hotpath
+func hotClean(vals []int) int {
+	s := span{a: 1, b: 2} // value struct literal stays on the stack: ok
+	total := s.a + s.b
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}
+
+//mk:hotpath
+func hotMake(n int) []int {
+	return make([]int, n) // want "make in //mk:hotpath hotMake allocates"
+}
+
+//mk:hotpath
+func hotNew() *span {
+	return new(span) // want "new in //mk:hotpath hotNew allocates"
+}
+
+//mk:hotpath
+func hotAppend(dst []int, v int) []int {
+	return append(dst, v) // want "append in //mk:hotpath hotAppend allocates on growth"
+}
+
+//mk:hotpath
+func hotGo(vals []int) {
+	go drain(vals) // want "go statement in //mk:hotpath hotGo allocates a goroutine"
+}
+
+//mk:hotpath
+func hotClosure(v int) func() int {
+	return func() int { return v } // want "closure in //mk:hotpath hotClosure may allocate"
+}
+
+//mk:hotpath
+func hotSliceLit() []int {
+	return []int{1, 2, 3} // want "slice/map literal in //mk:hotpath hotSliceLit allocates"
+}
+
+//mk:hotpath
+func hotMapLit() map[string]int {
+	return map[string]int{"a": 1} // want "slice/map literal in //mk:hotpath hotMapLit allocates"
+}
+
+//mk:hotpath
+func hotEscape() *span {
+	return &span{a: 1} // want "&composite literal in //mk:hotpath hotEscape escapes to the heap"
+}
+
+//mk:hotpath
+func hotFmt(v int) {
+	fmt.Println(v) // want "fmt.Println in //mk:hotpath hotFmt allocates"
+}
+
+//mk:hotpath
+func hotConvert(s string) []byte {
+	return []byte(s) // want "conversion in //mk:hotpath hotConvert copies and allocates"
+}
+
+//mk:hotpath
+func hotConvertBack(b []byte) string {
+	return string(b) // want "conversion in //mk:hotpath hotConvertBack copies and allocates"
+}
+
+func coldUnmarked(vals []int) []int {
+	out := make([]int, 0, len(vals))
+	return append(out, vals...) // unmarked function: ok
+}
+
+//mk:hotpath
+func hotWithColdPath(vals []int, fail bool) ([]int, error) {
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	if fail {
+		//mk:allow hotalloc error path is cold
+		return nil, fmt.Errorf("total %d", total) // suppressed by line-above allow
+	}
+	return vals, nil
+}
+
+// hotDocAllowed is hot but fully allowed by its doc comment.
+//
+//mk:hotpath
+//mk:allow hotalloc fixture demonstrates a whole-function waiver
+func hotDocAllowed() *span {
+	return &span{}
+}

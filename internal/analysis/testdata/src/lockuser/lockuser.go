@@ -1,0 +1,34 @@
+// Package lockuser exercises lockemit from outside the core package: the
+// TicketMutex section reached through Protocol.Section(), the way unit
+// shepherds and benchmarks drive Accept.
+package lockuser
+
+import "core"
+
+func emitUnderSection(p *core.Protocol, c *core.Context, ev *core.Event) {
+	sec := p.Section()
+	sec.Lock()
+	c.Emit(ev) // want "Context.Emit called while holding sec"
+	sec.Unlock()
+}
+
+func emitOutsideSection(p *core.Protocol, c *core.Context, ev *core.Event) {
+	sec := p.Section()
+	sec.Lock()
+	sec.Unlock()
+	c.Emit(ev) // released: ok
+}
+
+func reconfigureUnderSection(m *core.Manager, p *core.Protocol, u any) {
+	sec := p.Section()
+	sec.Lock()
+	defer sec.Unlock()
+	_ = m.Deploy(u) // want "Manager.Deploy called while holding sec"
+}
+
+func reconfigureAfterwards(m *core.Manager, p *core.Protocol, u any) {
+	sec := p.Section()
+	sec.Lock()
+	sec.Unlock()
+	_ = m.Deploy(u) // released: ok
+}

@@ -1,0 +1,15 @@
+// Package vclock mirrors the real facade: the one package allowed to ground
+// Clock in package time. The determinism analyzer must stay silent here.
+package vclock
+
+import "time"
+
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func Sleepy(d time.Duration) { time.Sleep(d) }

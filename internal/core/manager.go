@@ -449,7 +449,7 @@ func (m *Manager) rewireLocked() {
 	if m.obs != nil {
 		m.obs.rewires.Inc()
 		if m.obs.rewireLat != nil {
-			rewireStart = time.Now()
+			rewireStart = m.clk.Now()
 		}
 	}
 	chains := make(map[event.Type]*chain)
@@ -493,7 +493,7 @@ func (m *Manager) rewireLocked() {
 	m.syncBindingsLocked()
 	if m.obs != nil {
 		if m.obs.rewireLat != nil {
-			m.obs.rewireLat.Observe(time.Since(rewireStart))
+			m.obs.rewireLat.Observe(m.clk.Now().Sub(rewireStart))
 		}
 		if m.obs.tracer != nil {
 			m.obs.tracer.Record(m.clk.Now(), trace.Span{
@@ -584,6 +584,8 @@ func (m *Manager) syncBindingsLocked() {
 // its type, then to the terminals (broadcast or exclusive). Routing reads
 // only the published plan — no manager lock, no allocation: target lists
 // were compiled at the last rewire.
+//
+//mk:hotpath
 func (m *Manager) emit(from string, ev *event.Event) {
 	if m.obs != nil {
 		m.obs.emitted.Inc()
@@ -615,6 +617,8 @@ func (m *Manager) emit(from string, ev *event.Event) {
 }
 
 // dropEvent accounts one undeliverable event.
+//
+//mk:hotpath
 func (m *Manager) dropEvent(from string, ev *event.Event) {
 	m.stats.dropped.Add(1)
 	if m.obs != nil {
@@ -633,6 +637,8 @@ func (m *Manager) dropEvent(from string, ev *event.Event) {
 // referenced it reports ErrNotDeployed; that loss is accounted as a drop
 // (with a drop span naming the vanished target) rather than vanishing
 // silently.
+//
+//mk:hotpath
 func (m *Manager) runAccept(u Unit, ev *event.Event) {
 	sec := u.Section()
 	sec.Lock()
@@ -644,6 +650,8 @@ func (m *Manager) runAccept(u Unit, ev *event.Event) {
 // accountAcceptErr records the delivery-to-detached-unit loss; any other
 // Accept error is the unit's own business (protocols count handler errors
 // themselves).
+//
+//mk:hotpath
 func (m *Manager) accountAcceptErr(u Unit, ev *event.Event, err error) {
 	if err == nil || !errors.Is(err, ErrNotDeployed) {
 		return
@@ -664,6 +672,8 @@ func (m *Manager) accountAcceptErr(u Unit, ev *event.Event, err error) {
 // All targets are enqueued/ticketed before any processing starts, so the
 // per-unit FIFO order is the emission order even when handlers emit
 // further events mid-delivery.
+//
+//mk:hotpath
 func (m *Manager) deliverBatch(from string, targets []*unitRec, ev *event.Event, model Model) {
 	if model == SingleThreaded {
 		m.dmu.Lock()
@@ -803,11 +813,13 @@ func (m *Manager) deliver(from string, rec *unitRec, ev *event.Event, model Mode
 
 // waitTicket blocks until the shepherd's ticket is served, recording the
 // wait in the ticket-acquisition histogram when metrics are enabled.
+//
+//mk:hotpath
 func (m *Manager) waitTicket(sec *TicketMutex, ticket uint64) {
 	if m.obs != nil && m.obs.ticketWait != nil {
-		start := time.Now()
+		start := m.clk.Now()
 		sec.Wait(ticket)
-		m.obs.ticketWait.Observe(time.Since(start))
+		m.obs.ticketWait.Observe(m.clk.Now().Sub(start))
 		return
 	}
 	sec.Wait(ticket)
@@ -888,6 +900,7 @@ func (m *Manager) AddContextPoller(interval time.Duration, poll func() *event.Ev
 	m.mu.Unlock()
 }
 
+//mk:hotpath
 func (m *Manager) dispatchContextEvent(ev *event.Event) {
 	p := m.subs.Load()
 	if p == nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"manetkit/internal/event"
 	"manetkit/internal/metrics"
@@ -244,5 +245,44 @@ func BenchmarkEmitDirectInstrumented(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = src.Emit(ev)
+	}
+}
+
+// TestLatencyHistogramsUseDeploymentClock pins the fix for latency
+// histograms that previously sampled time.Now directly (mkvet: determinism):
+// under a virtual clock, real wall time spent in handlers, rewires and
+// ticket waits must not leak into core_handler_latency, core_rewire_latency
+// or core_ticket_wait — the virtual clock stands still, so their sums stay
+// exactly zero no matter how slow the handler really is.
+func TestLatencyHistogramsUseDeploymentClock(t *testing.T) {
+	m, reg, _ := newObservedMgr(t, PerMessage)
+	prov := newRecorder(t, "provider", event.Tuple{Provided: []event.Type{event.TCOut}})
+	slow := NewProtocol("requirer")
+	slow.SetTuple(event.Tuple{Required: []event.Requirement{{Type: event.TCOut}}})
+	h := NewHandler("slow-h", event.Any, func(ctx *Context, ev *event.Event) error {
+		time.Sleep(2 * time.Millisecond) // real wall time; the deployment clock is virtual
+		return nil
+	})
+	if err := slow.AddHandler(h); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*Protocol{prov.p, slow} {
+		if err := m.Deploy(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		emitFrom(t, m, "provider", &event.Event{Type: event.TCOut})
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{"core_handler_latency", "core_rewire_latency"} {
+		if snap.Histograms[name].Count == 0 {
+			t.Fatalf("%s recorded no samples", name)
+		}
+	}
+	for _, name := range []string{"core_handler_latency", "core_rewire_latency", "core_ticket_wait"} {
+		if sum := snap.Histograms[name].Sum; sum != 0 {
+			t.Fatalf("%s accumulated %v of wall time under a virtual clock", name, sum)
+		}
 	}
 }

@@ -680,6 +680,8 @@ func (p *Protocol) RunLocked(fn func(*Context)) error {
 // when calling Accept, so handler execution is atomic. The steady-state path
 // reads only the published plan: no p.mu, no handler-slice copy, no
 // per-handler ontology walk, no Context allocation.
+//
+//mk:hotpath
 func (p *Protocol) Accept(ev *event.Event) error {
 	plan := p.plan.Load()
 	if plan == nil {
@@ -714,6 +716,8 @@ func (p *Protocol) Accept(ev *event.Event) error {
 // runHandler invokes one matched handler with the plan's pooled context and
 // settles the per-event counters: Handled is counted when the handler
 // returns, immediately followed by Errors on failure.
+//
+//mk:hotpath
 func (p *Protocol) runHandler(plan *acceptPlan, h Handler, ev *event.Event, errs []error) []error {
 	obs := plan.obs
 	if obs != nil && obs.tracer != nil {
@@ -725,15 +729,17 @@ func (p *Protocol) runHandler(plan *acceptPlan, h Handler, ev *event.Event, errs
 	}
 	var err error
 	if obs != nil && obs.handlerLat != nil {
-		start := time.Now()
+		clk := plan.env.Clock
+		start := clk.Now()
 		err = h.Handle(plan.ctx, ev)
-		obs.handlerLat.Observe(time.Since(start))
+		obs.handlerLat.Observe(clk.Now().Sub(start))
 	} else {
 		err = h.Handle(plan.ctx, ev)
 	}
 	p.stats.handled.Add(1)
 	if err != nil {
 		p.stats.errors.Add(1)
+		//mk:allow hotalloc error path is cold; the success path allocates nothing
 		errs = append(errs, fmt.Errorf("handler %q: %w", h.Name(), err))
 	}
 	return errs

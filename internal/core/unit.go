@@ -83,6 +83,8 @@ func (e *Env) Tracer() *trace.Tracer { return e.tracer }
 // received messages), the ID is derived here from the message identity so
 // every span downstream carries it; the tracer gate keeps the disabled
 // path allocation-free.
+//
+//mk:hotpath
 func (e *Env) Emit(from string, ev *event.Event) {
 	if ev.Time.IsZero() {
 		ev.Time = e.Clock.Now()

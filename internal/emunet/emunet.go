@@ -519,6 +519,8 @@ func (c *NIC) SendWithFeedbackTagged(dst mnet.Addr, payload []byte, corr string,
 }
 
 // deliver hands a frame to the receiver callback and accounts for it.
+//
+//mk:hotpath
 func (c *NIC) deliver(f Frame) {
 	c.mu.Lock()
 	if c.detached {

@@ -104,7 +104,7 @@ func TimeToProcessOLSRKit(iters int) (time.Duration, error) {
 	nodes[0].MPR.State().Links.Observe(peer, true, 3, nil, c.Clock.Now())
 
 	unit := nodes[0].OLSR.Protocol()
-	start := time.Now()
+	start := time.Now() //mk:allow determinism wall-clock microbenchmark, reports real elapsed time
 	for i := 0; i < iters; i++ {
 		ev := &event.Event{Type: event.TCIn, Msg: tcWorkload(peer, i), Src: peer, Time: c.Clock.Now()}
 		sec := unit.Section()
@@ -116,7 +116,7 @@ func TimeToProcessOLSRKit(iters int) (time.Duration, error) {
 		sec.Unlock()
 	}
 	_ = self
-	return time.Since(start) / time.Duration(iters), nil
+	return time.Since(start) / time.Duration(iters), nil //mk:allow determinism wall-clock microbenchmark, reports real elapsed time
 }
 
 // TimeToProcessOLSRMono is the monolithic counterpart.
@@ -141,11 +141,11 @@ func TimeToProcessOLSRMono(iters int) (time.Duration, error) {
 	}
 	o.HandleHello(hello, peer)
 
-	start := time.Now()
+	start := time.Now() //mk:allow determinism wall-clock microbenchmark, reports real elapsed time
 	for i := 0; i < iters; i++ {
 		o.HandleTC(tcWorkload(peer, i), peer)
 	}
-	return time.Since(start) / time.Duration(iters), nil
+	return time.Since(start) / time.Duration(iters), nil //mk:allow determinism wall-clock microbenchmark, reports real elapsed time
 }
 
 // rreqWorkload builds the i-th distinct RREQ (fresh originator sequence
@@ -172,7 +172,7 @@ func TimeToProcessDYMOKit(iters int) (time.Duration, error) {
 	orig := mnet.AddrFrom(0x0a0000fe)
 	target := mnet.AddrFrom(0x0a0000fd)
 	unit := nodes[0].DYMO.Protocol()
-	start := time.Now()
+	start := time.Now() //mk:allow determinism wall-clock microbenchmark, reports real elapsed time
 	for i := 0; i < iters; i++ {
 		ev := &event.Event{Type: event.REIn, Msg: rreqWorkload(orig, target, i), Src: orig, Time: c.Clock.Now()}
 		sec := unit.Section()
@@ -183,7 +183,7 @@ func TimeToProcessDYMOKit(iters int) (time.Duration, error) {
 		}
 		sec.Unlock()
 	}
-	return time.Since(start) / time.Duration(iters), nil
+	return time.Since(start) / time.Duration(iters), nil //mk:allow determinism wall-clock microbenchmark, reports real elapsed time
 }
 
 // TimeToProcessDYMOMono is the monolithic counterpart.
@@ -196,11 +196,11 @@ func TimeToProcessDYMOMono(iters int) (time.Duration, error) {
 	d := mc.DYMO[0]
 	orig := mnet.AddrFrom(0x0a0000fe)
 	target := mnet.AddrFrom(0x0a0000fd)
-	start := time.Now()
+	start := time.Now() //mk:allow determinism wall-clock microbenchmark, reports real elapsed time
 	for i := 0; i < iters; i++ {
 		d.HandleRREQ(rreqWorkload(orig, target, i), orig)
 	}
-	return time.Since(start) / time.Duration(iters), nil
+	return time.Since(start) / time.Duration(iters), nil //mk:allow determinism wall-clock microbenchmark, reports real elapsed time
 }
 
 // joinOffsets varies the instant the newcomer powers on relative to the
