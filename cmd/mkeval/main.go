@@ -1,0 +1,123 @@
+// Command mkeval runs the standing evaluation campaign: deterministic CBR
+// and burst traffic swept over a {protocol family} × {density} × {load}
+// matrix on the emulated testbed, reporting the network-behaviour metrics
+// of the protocol-comparison literature — packet delivery ratio,
+// end-to-end latency percentiles and control overhead — with multi-seed
+// confidence bands.
+//
+//	mkeval                                   # default 4×3×2 matrix, 2 seeds
+//	mkeval -protos aodv,olsr -seeds 1,2,3    # narrower matrix, more seeds
+//	mkeval -json campaign.json               # machine-readable results
+//	mkeval -check internal/eval/testdata/golden_campaign.json
+//
+// With -check the run is compared against a committed golden report and
+// exits 1 when any cell's PDR, overhead or latency drifts past the
+// tolerance band, or when any invariant violation occurred — the CI gate
+// for regressions in *network* behaviour rather than nanoseconds. Goldens
+// are regenerated through the env-gated test flow:
+//
+//	MANETKIT_UPDATE_GOLDEN=1 go test ./internal/eval -run TestCampaignGolden -update
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"manetkit/internal/eval"
+)
+
+func main() {
+	protos := flag.String("protos", "", "comma-separated protocol families (default all: olsr,dymo,aodv,zrp)")
+	densities := flag.String("densities", "", "comma-separated density regimes (default sparse,medium,dense)")
+	loads := flag.String("loads", "", "comma-separated traffic profiles (default cbr,burst)")
+	seeds := flag.String("seeds", "", "comma-separated seeds replicating every cell (default 1,2)")
+	jsonOut := flag.String("json", "", "also write the campaign report to this file as JSON")
+	check := flag.String("check", "", "compare this run against a golden campaign report")
+	pdrTol := flag.Float64("pdr-tol", eval.DefaultTolerances().PDRAbs, "absolute PDR drift allowed by -check")
+	overheadTol := flag.Float64("overhead-tol", eval.DefaultTolerances().OverheadRel, "relative overhead drift allowed by -check")
+	latencyTol := flag.Float64("latency-tol", eval.DefaultTolerances().LatencyRel, "relative p95-latency drift allowed by -check")
+	flag.Parse()
+
+	cfg := eval.DefaultConfig()
+	if *protos != "" {
+		cfg.Protos = splitList(*protos)
+	}
+	if *densities != "" {
+		cfg.Densities = splitList(*densities)
+	}
+	if *loads != "" {
+		cfg.Loads = splitList(*loads)
+	}
+	if *seeds != "" {
+		var err error
+		if cfg.Seeds, err = parseSeeds(*seeds); err != nil {
+			fatal(err)
+		}
+	}
+
+	rep, err := eval.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep.WriteHuman(os.Stdout)
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err == nil {
+			err = rep.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d cells to %s\n", len(rep.Cells), *jsonOut)
+	}
+	if *check != "" {
+		golden, err := eval.LoadReport(*check)
+		if err != nil {
+			fatal(err)
+		}
+		tol := eval.Tolerances{PDRAbs: *pdrTol, OverheadRel: *overheadTol, LatencyRel: *latencyTol}
+		regressions := eval.Compare(golden, rep, tol)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
+		}
+		if len(regressions) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("golden check passed (%s: pdr ±%.2f, overhead ±%.0f%%, latency ±%.0f%%)\n",
+			*check, tol.PDRAbs, 100*tol.OverheadRel, 100*tol.LatencyRel)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mkeval: bad seed %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mkeval: %v\n", err)
+	os.Exit(1)
+}

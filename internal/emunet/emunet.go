@@ -95,6 +95,7 @@ type Network struct {
 	links map[linkKey]Quality
 	stats Stats
 	tap   func(Frame, mnet.Addr) // (frame, receiver); nil when unset
+	txTap func(Frame)            // transmission-side tap; nil when unset
 	inj   *Injector              // nil until a FaultPlan is applied
 	obs   *netObs                // nil when observability is disabled
 }
@@ -278,6 +279,20 @@ func (n *Network) SetTap(fn func(f Frame, receiver mnet.Addr)) {
 	n.tap = fn
 }
 
+// SetTxTap installs a transmission-side capture hook: fn observes every
+// frame the medium accepts for transmission (one call per Send, before
+// loss, link filtering or fault injection — the workload as offered, not as
+// delivered). The receiver-side SetTap sees only completed deliveries; the
+// pair is what lets the evaluation campaign compute control overhead per
+// transmission, the convention of the protocol-comparison literature. The
+// frame's payload is the sender's live buffer: fn must treat it as
+// read-only and must not retain it. Pass nil to remove.
+func (n *Network) SetTxTap(fn func(Frame)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.txTap = fn
+}
+
 // ScheduleAt runs fn on the medium's clock after d — the primitive from
 // which mobility scenarios are scripted.
 func (n *Network) ScheduleAt(d time.Duration, fn func(*Network)) {
@@ -287,6 +302,7 @@ func (n *Network) ScheduleAt(d time.Duration, fn func(*Network)) {
 // send performs the medium's half of a transmission from src.
 func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device, corr string) {
 	n.mu.Lock()
+	txTap := n.txTap
 	n.stats.TxFrames++
 	n.stats.TxBytes += uint64(len(payload))
 	if n.obs != nil {
@@ -330,6 +346,9 @@ func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device, cor
 				}
 			}
 			n.mu.Unlock()
+			if txTap != nil {
+				txTap(Frame{Src: src, Dst: dst, Payload: payload, Device: device, Corr: corr})
+			}
 			return
 		}
 		targets = append(targets, delivery{nic, q})
@@ -374,6 +393,9 @@ func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device, cor
 	}
 	n.mu.Unlock()
 
+	if txTap != nil {
+		txTap(Frame{Src: src, Dst: dst, Payload: payload, Device: device, Corr: corr})
+	}
 	for _, d := range due {
 		d := d
 		n.clock.AfterFunc(d.delay, func() { d.nic.deliver(d.frame) })
@@ -453,6 +475,7 @@ func (c *NIC) SendWithFeedbackTagged(dst mnet.Addr, payload []byte, corr string,
 
 	n := c.net
 	n.mu.Lock()
+	txTap := n.txTap
 	n.stats.TxFrames++
 	n.stats.TxBytes += uint64(len(payload))
 	if n.obs != nil {
@@ -506,6 +529,9 @@ func (c *NIC) SendWithFeedbackTagged(dst mnet.Addr, payload []byte, corr string,
 	}
 	n.mu.Unlock()
 
+	if txTap != nil {
+		txTap(Frame{Src: c.addr, Dst: dst, Payload: payload, Device: c.device, Corr: corr})
+	}
 	if !linked || !attached || lost {
 		// MAC retry window before the failure is reported.
 		n.clock.AfterFunc(q.Delay+2*time.Millisecond, func() { cb(false) })

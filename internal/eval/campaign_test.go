@@ -1,0 +1,207 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadWindow(t *testing.T) {
+	cases := []struct {
+		name string
+		load Load
+		want time.Duration
+	}{
+		{"cbr 8 packets every 2s", Load{Packets: 8, Burst: 1, Interval: 2 * time.Second}, 14 * time.Second},
+		{"bursts of 4", Load{Packets: 12, Burst: 4, Interval: 4 * time.Second}, 8 * time.Second},
+		{"partial final burst", Load{Packets: 10, Burst: 4, Interval: 4 * time.Second}, 8 * time.Second},
+		{"single packet", Load{Packets: 1, Burst: 1, Interval: time.Second}, 0},
+		{"empty", Load{}, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.load.Window(); got != tc.want {
+			t.Errorf("%s: Window() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []time.Duration{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50}, {0.95, 100}, {0.0, 10}, {1.0, 100},
+	}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("percentile(q=%.2f) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+	one := []time.Duration{42}
+	if got := percentile(one, 0.95); got != 42 {
+		t.Errorf("percentile(single, 0.95) = %v, want 42", got)
+	}
+}
+
+func TestBand(t *testing.T) {
+	b := band([]float64{2, 4, 6})
+	if b.Mean != 4 || b.Min != 2 || b.Max != 6 {
+		t.Fatalf("band = %+v", b)
+	}
+	if math.Abs(b.StdDev-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2 (sample stddev)", b.StdDev)
+	}
+	if want := 1.96 * 2 / math.Sqrt(3); math.Abs(b.CI95-want) > 1e-12 {
+		t.Errorf("ci95 = %v, want %v", b.CI95, want)
+	}
+	single := band([]float64{7})
+	if single.Mean != 7 || single.StdDev != 0 || single.CI95 != 0 {
+		t.Errorf("single-value band = %+v, want degenerate", single)
+	}
+	if z := band(nil); z != (Band{}) {
+		t.Errorf("band(nil) = %+v, want zero", z)
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ f, s, size int }{
+		{0, 0, 16}, {2, 7, 64}, {12, 345, 192}, {1, 1, 4},
+	} {
+		b := encodePayload(tc.f, tc.s, tc.size)
+		if tc.size > len(b) {
+			t.Errorf("encodePayload(%d,%d,%d) only %d bytes", tc.f, tc.s, tc.size, len(b))
+		}
+		f, s, ok := parsePayload(b)
+		if !ok || f != tc.f || s != tc.s {
+			t.Errorf("round trip (%d,%d) -> (%d,%d,%v)", tc.f, tc.s, f, s, ok)
+		}
+	}
+	for _, bad := range [][]byte{nil, []byte("x"), []byte("ev:"), []byte("ev:9"), []byte("ev:a:1|"), []byte("ev:1:b|"), []byte("ev:1:2")} {
+		if _, _, ok := parsePayload(bad); ok {
+			t.Errorf("parsePayload(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestMatrixLookups(t *testing.T) {
+	if _, err := DensityByName("nope"); err == nil {
+		t.Error("unknown density accepted")
+	}
+	if _, err := LoadByName("nope"); err == nil {
+		t.Error("unknown load accepted")
+	}
+	for _, d := range Densities() {
+		got, err := DensityByName(d.Name)
+		if err != nil || got.Nodes != d.Nodes {
+			t.Errorf("DensityByName(%q) = %+v, %v", d.Name, got, err)
+		}
+	}
+	for _, l := range Loads() {
+		if _, err := LoadByName(l.Name); err != nil {
+			t.Errorf("LoadByName(%q): %v", l.Name, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownAxes(t *testing.T) {
+	for _, cfg := range []Config{
+		{Protos: []string{"ospf"}},
+		{Densities: []string{"urban"}},
+		{Loads: []string{"elephant"}},
+	} {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("Run(%+v) accepted unknown axis value", cfg)
+		}
+	}
+}
+
+// syntheticCell builds a healthy one-seed cell for Compare tests.
+func syntheticCell(proto string, pdr, overhead, p95 float64) CellResult {
+	c := CellResult{
+		Proto: proto, Density: "sparse", Load: "cbr", Nodes: 8, Flows: 2,
+		PerSeed: []SeedResult{{
+			Seed: 1, Sent: 16, Delivered: int(16 * pdr), PDR: pdr,
+			LatencyP95Ms: p95, Overhead: overhead,
+		}},
+	}
+	c.aggregate()
+	return c
+}
+
+func syntheticReport(cells ...CellResult) *Report {
+	return &Report{
+		Schema: ReportSchema,
+		Protos: []string{"aodv"}, Densities: []string{"sparse"},
+		Loads: []string{"cbr"}, Seeds: []int64{1}, Cells: cells,
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	tol := DefaultTolerances()
+	golden := syntheticReport(syntheticCell("aodv", 0.90, 20, 1000))
+
+	cases := []struct {
+		name string
+		got  *Report
+		want string // substring of the expected finding; "" = clean
+	}{
+		{"identical", syntheticReport(syntheticCell("aodv", 0.90, 20, 1000)), ""},
+		{"within tolerance", syntheticReport(syntheticCell("aodv", 0.87, 22, 1100)), ""},
+		{"pdr collapse", syntheticReport(syntheticCell("aodv", 0.70, 20, 1000)), "pdr"},
+		{"overhead blowup", syntheticReport(syntheticCell("aodv", 0.90, 30, 1000)), "overhead"},
+		{"latency blowup", syntheticReport(syntheticCell("aodv", 0.90, 20, 1500)), "latency"},
+		{"missing cell", syntheticReport(), "missing"},
+		{"extra cell", syntheticReport(
+			syntheticCell("aodv", 0.90, 20, 1000),
+			syntheticCell("dymo", 0.90, 20, 1000)), "not in golden"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			findings := Compare(golden, tc.got, tol)
+			if tc.want == "" {
+				if len(findings) != 0 {
+					t.Fatalf("clean comparison flagged: %v", findings)
+				}
+				return
+			}
+			if len(findings) == 0 {
+				t.Fatalf("regression not flagged (want finding containing %q)", tc.want)
+			}
+			for _, f := range findings {
+				if strings.Contains(f, tc.want) {
+					return
+				}
+			}
+			t.Fatalf("no finding contains %q: %v", tc.want, findings)
+		})
+	}
+}
+
+// TestCompareFlagsViolations: a cell that picks up invariant violations is
+// a regression even if every metric is inside its band.
+func TestCompareFlagsViolations(t *testing.T) {
+	golden := syntheticReport(syntheticCell("aodv", 0.90, 20, 1000))
+	got := syntheticReport(syntheticCell("aodv", 0.90, 20, 1000))
+	got.Cells[0].PerSeed[0].Violations = 2
+	got.Cells[0].aggregate()
+	findings := Compare(golden, got, DefaultTolerances())
+	if len(findings) != 1 || !strings.Contains(findings[0], "violation") {
+		t.Fatalf("violations not gated: %v", findings)
+	}
+}
+
+func TestRelDrift(t *testing.T) {
+	if d := relDrift(10, 12); math.Abs(d-0.2) > 1e-12 {
+		t.Errorf("relDrift(10,12) = %v, want 0.2", d)
+	}
+	// Zero golden falls back to absolute drift so a silent-baseline cell
+	// still gates.
+	if d := relDrift(0, 0.5); d != 0.5 {
+		t.Errorf("relDrift(0,0.5) = %v, want 0.5", d)
+	}
+}

@@ -1,0 +1,149 @@
+package eval
+
+// The packetbb fuzz targets ship with hand-written seeds; the campaign can
+// do better, because its cells transmit real multi-protocol control
+// traffic. CaptureControlCorpus harvests those frames, and the regen test
+// below writes them into the fuzz targets' seed corpus in Go's corpus file
+// format. Regeneration is env-gated like the goldens:
+//
+//	MANETKIT_UPDATE_CORPUS=1 go test ./internal/eval -run TestRegenerateFuzzCorpus
+//
+// The committed corpus files are exercised by every ordinary
+// `go test ./internal/packetbb` run (seed corpus entries run in non-fuzz
+// mode), so a stale corpus that no longer decodes fails fast.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"manetkit/internal/harness"
+	"manetkit/internal/packetbb"
+)
+
+// corpusPerFamily bounds how many distinct packets each family contributes.
+const corpusPerFamily = 6
+
+func captureFamily(t *testing.T, proto string) [][]byte {
+	t.Helper()
+	density, err := DensityByName("sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	load, err := LoadByName("cbr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := CaptureControlCorpus(proto, density, load, 1, corpusPerFamily)
+	if err != nil {
+		t.Fatalf("capture %s: %v", proto, err)
+	}
+	return corpus
+}
+
+// TestCaptureControlCorpus validates the harvesting machinery on every
+// family: the capture is non-empty, deterministic, distinct, and every
+// harvested body is a decodable PacketBB packet carrying messages.
+func TestCaptureControlCorpus(t *testing.T) {
+	for _, proto := range harness.Families() {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			corpus := captureFamily(t, proto)
+			if len(corpus) == 0 {
+				t.Fatal("campaign cell transmitted no control frames")
+			}
+			seen := make(map[string]bool)
+			for i, body := range corpus {
+				if seen[string(body)] {
+					t.Errorf("corpus[%d] duplicates an earlier entry", i)
+				}
+				seen[string(body)] = true
+				pkt, err := packetbb.DecodePacket(body)
+				if err != nil {
+					t.Errorf("corpus[%d] does not decode: %v", i, err)
+					continue
+				}
+				if len(pkt.Messages) == 0 {
+					t.Errorf("corpus[%d] decodes to a message-less packet", i)
+				}
+			}
+			again := captureFamily(t, proto)
+			if len(again) != len(corpus) {
+				t.Fatalf("capture not deterministic: %d then %d entries", len(corpus), len(again))
+			}
+			for i := range corpus {
+				if !bytes.Equal(corpus[i], again[i]) {
+					t.Fatalf("capture not deterministic at entry %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestRegenerateFuzzCorpus rewrites the campaign-sourced seed corpus of the
+// packetbb fuzz targets. Gated on MANETKIT_UPDATE_CORPUS=1; a plain test
+// run never touches the tree.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("MANETKIT_UPDATE_CORPUS") == "" {
+		t.Skip("set MANETKIT_UPDATE_CORPUS=1 to rewrite the packetbb fuzz seed corpus")
+	}
+	pktDir := filepath.Join("..", "packetbb", "testdata", "fuzz", "FuzzDecodePacket")
+	msgDir := filepath.Join("..", "packetbb", "testdata", "fuzz", "FuzzDecodeMessage")
+
+	// Replace, don't accumulate: stale campaign files from a previous matrix
+	// would linger forever otherwise.
+	for _, dir := range []string{pktDir, msgDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		old, err := filepath.Glob(filepath.Join(dir, "campaign-*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range old {
+			if err := os.Remove(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	writeEntry := func(dir, name string, body []byte) {
+		t.Helper()
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", body)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var packets, messages int
+	seenMsg := make(map[string]bool)
+	for _, proto := range harness.Families() {
+		for i, body := range captureFamily(t, proto) {
+			writeEntry(pktDir, fmt.Sprintf("campaign-%s-%02d", proto, i), body)
+			packets++
+
+			// Derive the message-level corpus from the same traffic: each
+			// message re-encoded standalone is exactly what FuzzDecodeMessage
+			// parses.
+			pkt, err := packetbb.DecodePacket(body)
+			if err != nil {
+				t.Fatalf("campaign %s packet %d does not decode: %v", proto, i, err)
+			}
+			for m := range pkt.Messages {
+				enc, err := packetbb.EncodeMessage(&pkt.Messages[m])
+				if err != nil {
+					t.Fatalf("campaign %s packet %d message %d does not re-encode: %v", proto, i, m, err)
+				}
+				if seenMsg[string(enc)] {
+					continue
+				}
+				seenMsg[string(enc)] = true
+				writeEntry(msgDir, fmt.Sprintf("campaign-%s-%02d-%d", proto, i, m), enc)
+				messages++
+			}
+		}
+	}
+	t.Logf("wrote %d packet and %d message corpus entries", packets, messages)
+}

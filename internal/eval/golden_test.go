@@ -1,0 +1,88 @@
+package eval
+
+// The campaign golden gate: the full default matrix runs against the
+// committed golden report, and any cell whose PDR, overhead or p95 latency
+// drifts past the tolerance policy — or that breaks a routing invariant —
+// fails. Every metric is deterministic under the virtual clock, so an
+// unchanged tree reproduces the golden exactly; the tolerances only give
+// intentional protocol changes room to land without noise churn.
+//
+// When a change legitimately alters network behaviour, regenerate with
+//
+//	MANETKIT_UPDATE_GOLDEN=1 go test ./internal/eval -run TestCampaignGolden -update
+//
+// The env var is a second key on the trigger, matching the harness golden
+// flow: -update alone fails loudly.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false,
+	"rewrite testdata/golden_campaign.json from this run (requires MANETKIT_UPDATE_GOLDEN=1)")
+
+const goldenPath = "testdata/golden_campaign.json"
+
+func TestCampaignGolden(t *testing.T) {
+	rep, err := Run(DefaultConfig())
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+
+	if *updateGolden {
+		if os.Getenv("MANETKIT_UPDATE_GOLDEN") == "" {
+			t.Fatal("-update passed without MANETKIT_UPDATE_GOLDEN=1; refusing to rewrite the golden")
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		t.Logf("rewrote %s with %d cells", goldenPath, len(rep.Cells))
+		return
+	}
+
+	golden, err := LoadReport(goldenPath)
+	if err != nil {
+		t.Fatalf("read %s: %v (regenerate with MANETKIT_UPDATE_GOLDEN=1 go test ./internal/eval -run TestCampaignGolden -update)", goldenPath, err)
+	}
+	for _, finding := range Compare(golden, rep, DefaultTolerances()) {
+		t.Errorf("REGRESSION: %s", finding)
+	}
+	if t.Failed() {
+		t.Logf("network behaviour drifted past tolerance; if intentional, regenerate with "+
+			"MANETKIT_UPDATE_GOLDEN=1 go test ./internal/eval -run TestCampaignGolden -update")
+	}
+}
+
+// TestGoldenMatchesDefaultMatrix keeps the committed golden in lockstep
+// with the default matrix shape: adding an axis value without regenerating
+// the golden must fail here, not silently pass the tolerance gate.
+func TestGoldenMatchesDefaultMatrix(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating")
+	}
+	golden, err := LoadReport(goldenPath)
+	if err != nil {
+		t.Fatalf("read %s: %v", goldenPath, err)
+	}
+	cfg := DefaultConfig()
+	want := len(cfg.Protos) * len(cfg.Densities) * len(cfg.Loads)
+	if len(golden.Cells) != want {
+		t.Fatalf("golden has %d cells, default matrix has %d; regenerate the golden", len(golden.Cells), want)
+	}
+	for _, c := range golden.Cells {
+		if len(c.PerSeed) != len(cfg.Seeds) {
+			t.Fatalf("golden cell %s has %d seeds, default config has %d", c.Key(), len(c.PerSeed), len(cfg.Seeds))
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package eval is the standing evaluation campaign: deterministic traffic
+// generators driven over emulated protocol deployments, swept across a
+// declarative {protocol family} × {density} × {traffic load} matrix, with
+// the metrics the protocol-comparison literature reports — packet delivery
+// ratio, end-to-end latency percentiles and control overhead — collected
+// per cell as first-class, machine-readable outputs.
+//
+// Everything runs on the virtual clock with seeded randomness, so a cell
+// is a pure function of (protocol, density, load, seed): the same cell
+// with the same seed produces a byte-identical JSON result. Multi-seed
+// runs add confidence bands on top of that determinism, and committed
+// goldens with tolerance thresholds (testdata/golden_campaign.json) turn
+// the campaign into a network-behaviour regression gate: a change that
+// degrades AODV's delivery ratio under load fails CI even if every ns/op
+// benchmark improved.
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"manetkit/internal/testbed"
+)
+
+// Density names one topology regime of the sweep. The protocol-comparison
+// studies vary node density because it flips which protocol family wins:
+// sparse multi-hop chains favour low-overhead reactive discovery, dense
+// single-hop neighbourhoods favour proactive link state with MPR flooding.
+type Density struct {
+	// Name identifies the regime in matrix specs and reports.
+	Name string
+	// Nodes is the cluster size.
+	Nodes int
+	// Build links an already-attached cluster into the regime's topology.
+	Build func(c *testbed.Cluster) error
+}
+
+// Densities lists the built-in topology regimes in report order:
+//
+//	sparse — 8 nodes in a line (diameter 7, the long-chain regime)
+//	medium — 9 nodes on a 3×3 grid (mixed path lengths, route choice)
+//	dense  — 8 nodes fully meshed (single hop everywhere, flooding cost)
+func Densities() []Density {
+	return []Density{
+		{Name: "sparse", Nodes: 8, Build: func(c *testbed.Cluster) error { return c.Line() }},
+		{Name: "medium", Nodes: 9, Build: func(c *testbed.Cluster) error { return c.Grid(3) }},
+		{Name: "dense", Nodes: 8, Build: func(c *testbed.Cluster) error { return c.Clique() }},
+	}
+}
+
+// DensityByName resolves one of the built-in regimes.
+func DensityByName(name string) (Density, error) {
+	for _, d := range Densities() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Density{}, fmt.Errorf("eval: unknown density %q", name)
+}
+
+// Load is one deterministic application traffic profile. Emissions happen
+// on the virtual clock: a CBR profile (Burst = 1) sends one packet per
+// Interval per flow; a burst profile sends Burst packets back-to-back
+// every Interval, the on/off source that stresses route caches and packet
+// buffers.
+type Load struct {
+	// Name identifies the profile in matrix specs and reports.
+	Name string
+	// Flows is how many concurrent (src, dst) flows run; the endpoints are
+	// drawn deterministically from the cell seed.
+	Flows int
+	// Packets is the number of data packets each flow originates.
+	Packets int
+	// Burst is how many packets are sent back-to-back per emission
+	// (1 = pure CBR).
+	Burst int
+	// Interval separates consecutive emissions of one flow.
+	Interval time.Duration
+	// PayloadBytes pads every packet to this size.
+	PayloadBytes int
+}
+
+// Loads lists the built-in traffic profiles in report order:
+//
+//	cbr   — 2 flows × 8 packets, one every 2 s, 64-byte payload
+//	burst — 3 flows × 12 packets in bursts of 4 every 4 s, 192-byte payload
+func Loads() []Load {
+	return []Load{
+		{Name: "cbr", Flows: 2, Packets: 8, Burst: 1, Interval: 2 * time.Second, PayloadBytes: 64},
+		{Name: "burst", Flows: 3, Packets: 12, Burst: 4, Interval: 4 * time.Second, PayloadBytes: 192},
+	}
+}
+
+// LoadByName resolves one of the built-in profiles.
+func LoadByName(name string) (Load, error) {
+	for _, l := range Loads() {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return Load{}, fmt.Errorf("eval: unknown load %q", name)
+}
+
+// Window is the span from a profile's first emission to its last: the
+// traffic phase of a cell run (delivery may trail into the cooldown).
+func (l Load) Window() time.Duration {
+	if l.Burst <= 0 || l.Packets <= 0 {
+		return 0
+	}
+	emissions := (l.Packets + l.Burst - 1) / l.Burst
+	return time.Duration(emissions-1) * l.Interval
+}

@@ -1,0 +1,290 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+)
+
+// ReportSchema versions the JSON layout; bump on incompatible change.
+const ReportSchema = 1
+
+// Band summarises one metric across a cell's seeds: the confidence band
+// reported alongside every mean, as the comparison studies do. CI95 is the
+// half-width of the normal-approximation 95% interval (0 for one seed).
+type Band struct {
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	StdDev float64 `json:"stddev"`
+	CI95   float64 `json:"ci95"`
+}
+
+func band(vals []float64) Band {
+	if len(vals) == 0 {
+		return Band{}
+	}
+	b := Band{Min: vals[0], Max: vals[0]}
+	for _, v := range vals {
+		b.Mean += v
+		if v < b.Min {
+			b.Min = v
+		}
+		if v > b.Max {
+			b.Max = v
+		}
+	}
+	n := float64(len(vals))
+	b.Mean /= n
+	if len(vals) > 1 {
+		var ss float64
+		for _, v := range vals {
+			ss += (v - b.Mean) * (v - b.Mean)
+		}
+		b.StdDev = math.Sqrt(ss / (n - 1))
+		b.CI95 = 1.96 * b.StdDev / math.Sqrt(n)
+	}
+	return b
+}
+
+// SeedResult is the outcome of one cell run under one seed. Every field is
+// deterministic: counts and virtual-clock times only, no wall time.
+type SeedResult struct {
+	Seed int64 `json:"seed"`
+
+	// Sent and Delivered count end-to-end application packets; PDR is
+	// their ratio (the packet delivery ratio).
+	Sent      int     `json:"sent"`
+	Delivered int     `json:"delivered"`
+	PDR       float64 `json:"pdr"`
+
+	// End-to-end latency percentiles over delivered packets, in virtual
+	// milliseconds, measured send-to-delivery (route discovery and
+	// buffering included).
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyMaxMs float64 `json:"latency_max_ms"`
+
+	// HopMean is the mean hop count of delivered data packets, from the
+	// causal path reconstruction; PathDrops counts frame drops those
+	// packets' paths absorbed (retransmitted hops, lost duplicates).
+	HopMean   float64 `json:"hop_mean"`
+	PathDrops int     `json:"path_drops"`
+
+	// Transmission-side medium accounting by wire class. Overhead is the
+	// normalised routing load: control transmissions per delivered data
+	// packet. CtrlShare is the control fraction of transmitted bytes.
+	CtrlTxFrames uint64  `json:"ctrl_tx_frames"`
+	CtrlTxBytes  uint64  `json:"ctrl_tx_bytes"`
+	DataTxFrames uint64  `json:"data_tx_frames"`
+	DataTxBytes  uint64  `json:"data_tx_bytes"`
+	Overhead     float64 `json:"overhead"`
+	CtrlShare    float64 `json:"ctrl_share"`
+
+	// TapFrames is how many control frames the live sequence watcher
+	// decoded during the run (proof the invariant layer was engaged).
+	TapFrames uint64 `json:"tap_frames"`
+	// Violations counts snapshot-suite plus live-watcher breaches; a
+	// healthy cell has zero, and the golden gate enforces that.
+	Violations      int      `json:"violations"`
+	ViolationDetail []string `json:"violation_detail,omitempty"`
+}
+
+// CellResult is one matrix cell: per-seed results plus confidence bands.
+type CellResult struct {
+	Proto   string `json:"proto"`
+	Density string `json:"density"`
+	Load    string `json:"load"`
+	Nodes   int    `json:"nodes"`
+	Flows   int    `json:"flows"`
+
+	PerSeed []SeedResult `json:"per_seed"`
+
+	PDR          Band `json:"pdr"`
+	LatencyP50Ms Band `json:"latency_p50_ms"`
+	LatencyP95Ms Band `json:"latency_p95_ms"`
+	Overhead     Band `json:"overhead"`
+	CtrlShare    Band `json:"ctrl_share"`
+	HopMean      Band `json:"hop_mean"`
+
+	// Violations totals invariant breaches across all seeds.
+	Violations int `json:"violations"`
+}
+
+// Key identifies the cell within a report.
+func (c *CellResult) Key() string {
+	return c.Proto + "/" + c.Density + "/" + c.Load
+}
+
+// aggregate fills the bands from PerSeed.
+func (c *CellResult) aggregate() {
+	pick := func(f func(SeedResult) float64) []float64 {
+		out := make([]float64, len(c.PerSeed))
+		for i, sr := range c.PerSeed {
+			out[i] = f(sr)
+		}
+		return out
+	}
+	c.PDR = band(pick(func(s SeedResult) float64 { return s.PDR }))
+	c.LatencyP50Ms = band(pick(func(s SeedResult) float64 { return s.LatencyP50Ms }))
+	c.LatencyP95Ms = band(pick(func(s SeedResult) float64 { return s.LatencyP95Ms }))
+	c.Overhead = band(pick(func(s SeedResult) float64 { return s.Overhead }))
+	c.CtrlShare = band(pick(func(s SeedResult) float64 { return s.CtrlShare }))
+	c.HopMean = band(pick(func(s SeedResult) float64 { return s.HopMean }))
+	c.Violations = 0
+	for _, sr := range c.PerSeed {
+		c.Violations += sr.Violations
+	}
+}
+
+// Report is the full campaign document. Cells are sorted by (proto,
+// density, load), every value is deterministic, and encoding uses fixed
+// field order — the same matrix always marshals to identical bytes.
+type Report struct {
+	Schema    int          `json:"schema"`
+	Protos    []string     `json:"protos"`
+	Densities []string     `json:"densities"`
+	Loads     []string     `json:"loads"`
+	Seeds     []int64      `json:"seeds"`
+	Cells     []CellResult `json:"cells"`
+}
+
+// Cell returns the named cell, or nil.
+func (r *Report) Cell(proto, density, load string) *CellResult {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Proto == proto && c.Density == density && c.Load == load {
+			return c
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the canonical indented encoding.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report written by WriteJSON.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("eval: parsing report: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("eval: report schema %d, want %d (regenerate the golden)", r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+// LoadReport reads a report file.
+func LoadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadReport(f)
+}
+
+// Tolerances is the drift policy the golden gate applies per cell. All
+// campaign metrics are deterministic under the virtual clock, so an
+// unchanged tree reproduces the golden exactly; the bands exist to let
+// intentional protocol changes land without regenerating goldens for
+// noise-scale drift, while real behaviour regressions fail loudly.
+type Tolerances struct {
+	// PDRAbs is the allowed absolute drift of a cell's mean delivery
+	// ratio (PDR is already in [0,1]; relative bands would over-penalise
+	// lossy cells).
+	PDRAbs float64
+	// OverheadRel is the allowed relative drift of the normalised routing
+	// load.
+	OverheadRel float64
+	// LatencyRel is the allowed relative drift of the p95 latency.
+	LatencyRel float64
+}
+
+// DefaultTolerances is the committed gate policy (see EXPERIMENTS.md).
+func DefaultTolerances() Tolerances {
+	return Tolerances{PDRAbs: 0.05, OverheadRel: 0.20, LatencyRel: 0.30}
+}
+
+// Compare gates got against golden: missing or extra cells, invariant
+// violations, and any drift past the tolerance band are regressions. The
+// returned strings are human-readable findings; empty means the gate
+// passes.
+func Compare(golden, got *Report, tol Tolerances) []string {
+	var bad []string
+	index := func(r *Report) map[string]*CellResult {
+		m := make(map[string]*CellResult, len(r.Cells))
+		for i := range r.Cells {
+			m[r.Cells[i].Key()] = &r.Cells[i]
+		}
+		return m
+	}
+	gold, cur := index(golden), index(got)
+	for _, gc := range golden.Cells {
+		cc, ok := cur[gc.Key()]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: cell missing from this run", gc.Key()))
+			continue
+		}
+		if cc.Violations > 0 {
+			bad = append(bad, fmt.Sprintf("%s: %d invariant violation(s)", gc.Key(), cc.Violations))
+		}
+		if d := math.Abs(cc.PDR.Mean - gc.PDR.Mean); d > tol.PDRAbs {
+			bad = append(bad, fmt.Sprintf("%s: pdr %.3f, golden %.3f (|Δ| %.3f > %.3f)",
+				gc.Key(), cc.PDR.Mean, gc.PDR.Mean, d, tol.PDRAbs))
+		}
+		if d, lim := relDrift(gc.Overhead.Mean, cc.Overhead.Mean), tol.OverheadRel; d > lim {
+			bad = append(bad, fmt.Sprintf("%s: overhead %.2f, golden %.2f (drift %.1f%% > %.0f%%)",
+				gc.Key(), cc.Overhead.Mean, gc.Overhead.Mean, 100*d, 100*lim))
+		}
+		if d, lim := relDrift(gc.LatencyP95Ms.Mean, cc.LatencyP95Ms.Mean), tol.LatencyRel; d > lim {
+			bad = append(bad, fmt.Sprintf("%s: latency p95 %.1fms, golden %.1fms (drift %.1f%% > %.0f%%)",
+				gc.Key(), cc.LatencyP95Ms.Mean, gc.LatencyP95Ms.Mean, 100*d, 100*lim))
+		}
+	}
+	for _, cc := range got.Cells {
+		if _, ok := gold[cc.Key()]; !ok {
+			bad = append(bad, fmt.Sprintf("%s: cell not in golden (regenerate the golden to admit it)", cc.Key()))
+		}
+	}
+	return bad
+}
+
+// relDrift is |got-golden| relative to golden, falling back to absolute
+// drift when the golden value is ~0 so a zero baseline still gates.
+func relDrift(golden, got float64) float64 {
+	d := math.Abs(got - golden)
+	if math.Abs(golden) < 1e-9 {
+		return d
+	}
+	return d / math.Abs(golden)
+}
+
+// WriteHuman renders the campaign as a table, one row per cell.
+func (r *Report) WriteHuman(w io.Writer) {
+	fmt.Fprintf(w, "%-6s %-7s %-6s %6s %7s %12s %12s %10s %8s %5s\n",
+		"proto", "density", "load", "nodes", "pdr", "lat p50", "lat p95", "overhead", "hops", "viol")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%-6s %-7s %-6s %6d %7s %12s %12s %10s %8.1f %5d\n",
+			c.Proto, c.Density, c.Load, c.Nodes,
+			fmt.Sprintf("%.3f", c.PDR.Mean),
+			fmtBandMs(c.LatencyP50Ms), fmtBandMs(c.LatencyP95Ms),
+			fmt.Sprintf("%.1f±%.1f", c.Overhead.Mean, c.Overhead.CI95),
+			c.HopMean.Mean, c.Violations)
+	}
+	fmt.Fprintf(w, "%d cells × %d seeds; pdr = delivered/sent, overhead = control tx per delivered packet (±95%% CI)\n",
+		len(r.Cells), len(r.Seeds))
+}
+
+func fmtBandMs(b Band) string {
+	s := fmt.Sprintf("%.1f±%.1fms", b.Mean, b.CI95)
+	return strings.ReplaceAll(s, "±0.0ms", "ms")
+}

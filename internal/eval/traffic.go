@@ -1,0 +1,187 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"manetkit/internal/mnet"
+	"manetkit/internal/testbed"
+)
+
+// flow is one application conversation between two node indices.
+type flow struct {
+	src, dst int
+}
+
+// packetKey identifies one generated packet within a cell run.
+type packetKey struct {
+	flow, seq int
+}
+
+// generator drives one Load over a cluster: flow endpoints are drawn from
+// the cell seed, emissions are scheduled on the virtual clock, and every
+// packet's send and delivery instants are recorded so end-to-end latency
+// is exact virtual time (discovery and buffering delays included). The
+// payload carries the (flow, seq) identity, so delivery matching survives
+// forwarding; the generator also mirrors the packet filter's per-source
+// packet-ID counter, which is what lets each packet be joined to its
+// causal path reconstruction (inspect.Correlate) afterwards.
+type generator struct {
+	c     *testbed.Cluster
+	load  Load
+	flows []flow
+
+	sent    int
+	sendAt  map[packetKey]time.Time
+	recvAt  map[packetKey]time.Time
+	keyOf   map[string]packetKey // correlation ID -> packet
+	nextID  map[int]uint64       // per-source mirror of the netlink packet-ID counter
+	order   []packetKey          // emission order, for deterministic iteration
+	sendErr error                // first SendData failure, surfaced after the run
+}
+
+// newGenerator draws the flow endpoints for one cell. Endpoints are a pure
+// function of (seed, load, cluster size): the same cell replays the same
+// conversations.
+func newGenerator(c *testbed.Cluster, load Load, seed int64) *generator {
+	n := len(c.Nodes)
+	rng := rand.New(rand.NewSource(seed))
+	g := &generator{
+		c: c, load: load,
+		sendAt: make(map[packetKey]time.Time),
+		recvAt: make(map[packetKey]time.Time),
+		keyOf:  make(map[string]packetKey),
+		nextID: make(map[int]uint64),
+	}
+	for f := 0; f < load.Flows; f++ {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		g.flows = append(g.flows, flow{src: src, dst: dst})
+	}
+	return g
+}
+
+// install hooks every node's local-delivery upcall. Deliveries run on the
+// clock-driving goroutine (SingleThreaded model), so plain maps are safe.
+func (g *generator) install() {
+	for i, node := range g.c.Nodes {
+		i := i
+		node.Sys.Filter().OnDeliver(func(src mnet.Addr, payload []byte) {
+			f, seq, ok := parsePayload(payload)
+			if !ok || f >= len(g.flows) || g.flows[f].dst != i {
+				return
+			}
+			key := packetKey{flow: f, seq: seq}
+			if _, dup := g.recvAt[key]; dup {
+				return // duplicated frame: first arrival defines the latency
+			}
+			if _, known := g.sendAt[key]; !known {
+				return
+			}
+			g.recvAt[key] = g.c.Clock.Now()
+		})
+	}
+}
+
+// schedule books every emission on the virtual clock, relative to now.
+// Bursts land back-to-back at the same instant; the clock executes them in
+// scheduling order, which is fixed, so the whole workload is replayable.
+func (g *generator) schedule() {
+	for f := range g.flows {
+		f := f
+		for s := 0; s < g.load.Packets; s++ {
+			s := s
+			at := time.Duration(s/g.load.Burst) * g.load.Interval
+			g.c.Clock.AfterFunc(at, func() { g.send(f, s) })
+		}
+	}
+}
+
+// send originates one packet and records its identity and send instant.
+func (g *generator) send(f, s int) {
+	fl := g.flows[f]
+	src := g.c.Nodes[fl.src]
+	dst := g.c.Nodes[fl.dst].Addr
+	key := packetKey{flow: f, seq: s}
+
+	// The packet filter assigns IDs sequentially per source node; the
+	// generator is the only data source in a cell, so mirroring the count
+	// reproduces the correlation ID each hop's trace spans will carry.
+	g.nextID[fl.src]++
+	g.keyOf[fmt.Sprintf("DATA:%s:%d", src.Addr, g.nextID[fl.src])] = key
+
+	g.sendAt[key] = g.c.Clock.Now()
+	g.order = append(g.order, key)
+	if err := src.Sys.Filter().SendData(dst, encodePayload(f, s, g.load.PayloadBytes)); err != nil {
+		delete(g.sendAt, key)
+		if g.sendErr == nil {
+			g.sendErr = fmt.Errorf("eval: flow %d packet %d: %w", f, s, err)
+		}
+		return
+	}
+	g.sent++
+}
+
+// delivered counts packets that reached their destination.
+func (g *generator) delivered() int { return len(g.recvAt) }
+
+// latencies returns the end-to-end virtual-clock latency of every
+// delivered packet, sorted ascending.
+func (g *generator) latencies() []time.Duration {
+	out := make([]time.Duration, 0, len(g.recvAt))
+	for _, key := range g.order {
+		recv, ok := g.recvAt[key]
+		if !ok {
+			continue
+		}
+		out = append(out, recv.Sub(g.sendAt[key]))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// encodePayload stamps the (flow, seq) identity and pads to size bytes.
+func encodePayload(f, s, size int) []byte {
+	b := []byte(fmt.Sprintf("ev:%d:%d|", f, s))
+	for len(b) < size {
+		b = append(b, 'x')
+	}
+	return b
+}
+
+// parsePayload recovers the (flow, seq) identity from a delivered payload.
+func parsePayload(b []byte) (f, s int, ok bool) {
+	if len(b) < 3 || b[0] != 'e' || b[1] != 'v' || b[2] != ':' {
+		return 0, 0, false
+	}
+	i := 3
+	f, i, ok = parseInt(b, i, ':')
+	if !ok {
+		return 0, 0, false
+	}
+	s, _, ok = parseInt(b, i, '|')
+	if !ok {
+		return 0, 0, false
+	}
+	return f, s, true
+}
+
+func parseInt(b []byte, i int, stop byte) (v, next int, ok bool) {
+	start := i
+	for i < len(b) && b[i] != stop {
+		if b[i] < '0' || b[i] > '9' {
+			return 0, 0, false
+		}
+		v = v*10 + int(b[i]-'0')
+		i++
+	}
+	if i == start || i == len(b) {
+		return 0, 0, false
+	}
+	return v, i + 1, true
+}

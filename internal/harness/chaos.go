@@ -28,8 +28,6 @@ import (
 	"manetkit/internal/invariant"
 	"manetkit/internal/metrics"
 	"manetkit/internal/mnet"
-	"manetkit/internal/neighbor"
-	"manetkit/internal/route"
 	"manetkit/internal/testbed"
 	"manetkit/internal/trace"
 )
@@ -49,7 +47,7 @@ func Scenarios() []string {
 }
 
 // ChaosProtos lists the protocol families RunChaos can deploy.
-func ChaosProtos() []string { return []string{"olsr", "dymo", "aodv", "zrp"} }
+func ChaosProtos() []string { return Families() }
 
 // ChaosConfig parameterises one chaos run.
 type ChaosConfig struct {
@@ -218,114 +216,6 @@ func sortedMetricKeys(m map[string]uint64) []string {
 	return keys
 }
 
-// chaosNode is one deployed node plus the handles the harness needs to
-// crash it, flush its state and snapshot it.
-type chaosNode struct {
-	node  *testbed.Node
-	units []*core.Protocol        // routing units in start order
-	ribs  map[string]*route.Table // per-protocol RIBs
-	links *neighbor.Table         // the composition's neighbour table
-}
-
-// deployChaos installs the requested composition on a node and returns the
-// crash/snapshot handles.
-func deployChaos(c *testbed.Cluster, node *testbed.Node, proto string) (*chaosNode, error) {
-	cn := &chaosNode{node: node, ribs: map[string]*route.Table{}}
-	switch proto {
-	case "olsr":
-		d, err := DeployOLSR(c, node)
-		if err != nil {
-			return nil, err
-		}
-		cn.units = []*core.Protocol{d.MPR.Protocol(), d.OLSR.Protocol()}
-		cn.ribs["olsr"] = d.OLSR.Routes()
-		cn.links = d.MPR.State().Links
-	case "dymo":
-		d, err := DeployDYMO(c, node)
-		if err != nil {
-			return nil, err
-		}
-		cn.units = []*core.Protocol{d.ND.Protocol(), d.DYMO.Protocol()}
-		cn.ribs["dymo"] = d.DYMO.Routes()
-		cn.links = d.ND.Table()
-	case "aodv":
-		d, err := DeployAODV(c, node)
-		if err != nil {
-			return nil, err
-		}
-		cn.units = []*core.Protocol{d.ND.Protocol(), d.AODV.Protocol()}
-		cn.ribs["aodv"] = d.AODV.Routes()
-		cn.links = d.ND.Table()
-	case "zrp":
-		d, err := DeployZRP(c, node)
-		if err != nil {
-			return nil, err
-		}
-		cn.units = []*core.Protocol{d.MPR.Protocol(), d.ZRP.Protocol()}
-		cn.ribs["zrp"] = d.ZRP.Routes()
-		cn.links = d.MPR.State().Links
-	default:
-		return nil, fmt.Errorf("harness: unknown chaos proto %q", proto)
-	}
-	return cn, nil
-}
-
-// crash stops the node's routing units — the node has already been
-// detached from the medium by the fault plan.
-func (cn *chaosNode) crash() {
-	for i := len(cn.units) - 1; i >= 0; i-- {
-		cn.units[i].Stop()
-	}
-}
-
-// restart models a reboot with state loss: RIBs (and their FIB mirrors)
-// and the neighbour table are flushed before the units start again.
-func (cn *chaosNode) restart(now time.Time) error {
-	for _, rib := range cn.ribs {
-		rib.Clear()
-	}
-	if cn.links != nil {
-		// Expire marks every entry lost, Drop then removes them: a full
-		// neighbour-table flush without synthesising link-break events
-		// (the node was dead — nothing was listening).
-		flushAt := now.Add(time.Hour)
-		cn.links.Expire(flushAt)
-		cn.links.Drop(flushAt)
-	}
-	for _, u := range cn.units {
-		if err := u.Start(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// state captures the node for the invariant snapshot.
-func (cn *chaosNode) state() invariant.NodeState {
-	st := invariant.NodeState{Addr: cn.node.Addr, FIB: cn.node.FIB().List()}
-	protos := make([]string, 0, len(cn.ribs))
-	for name := range cn.ribs {
-		protos = append(protos, name)
-	}
-	sort.Strings(protos)
-	for _, name := range protos {
-		st.RIBs = append(st.RIBs, invariant.RIB{Proto: name, Entries: cn.ribs[name].Entries()})
-	}
-	if cn.links != nil {
-		st.Neighbors = cn.links.Neighbors()
-	}
-	return st
-}
-
-// snapshotCluster captures every node against the live link graph.
-func snapshotCluster(c *testbed.Cluster, nodes []*chaosNode) *invariant.Snapshot {
-	snap := &invariant.Snapshot{Now: c.Clock.Now(), Topo: c.Net}
-	for _, cn := range nodes {
-		snap.Nodes = append(snap.Nodes, cn.state())
-	}
-	return snap
-}
-
 // RunChaos executes one scripted-fault scenario and checks the invariant
 // suite after the convergence bound. The returned report is deterministic:
 // same config, same report.
@@ -346,17 +236,17 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		return nil, err
 	}
 
-	nodes := make([]*chaosNode, cfg.Nodes)
-	byAddr := make(map[mnet.Addr]*chaosNode, cfg.Nodes)
+	nodes := make([]*FamilyNode, cfg.Nodes)
+	byAddr := make(map[mnet.Addr]*FamilyNode, cfg.Nodes)
 	monitor := inspect.NewMonitor(testbed.Epoch, reg, inspect.MonitorConfig{})
 	for i, node := range c.Nodes {
-		cn, err := deployChaos(c, node, cfg.Proto)
+		fn, err := DeployFamily(c, node, cfg.Proto)
 		if err != nil {
 			return nil, err
 		}
-		nodes[i] = cn
-		byAddr[node.Addr] = cn
-		monitor.Watch(inspect.Target{Mgr: node.Mgr, Tables: cn.ribs})
+		nodes[i] = fn
+		byAddr[node.Addr] = fn
+		monitor.Watch(inspect.Target{Mgr: node.Mgr, Tables: fn.RIBs})
 	}
 
 	// Live invariant: monotonic sequence numbers, watched on the medium tap.
@@ -389,14 +279,14 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	// hold times — before the snapshot is checked.
 	plan := emunet.NewFaultPlan(cfg.Seed)
 	plan.OnCrash = func(addr mnet.Addr) {
-		if cn := byAddr[addr]; cn != nil {
-			cn.crash()
+		if fn := byAddr[addr]; fn != nil {
+			fn.Crash()
 		}
 	}
 	plan.OnRestart = func(addr mnet.Addr) {
-		if cn := byAddr[addr]; cn != nil {
+		if fn := byAddr[addr]; fn != nil {
 			watch.Forget(addr) // counters may legitimately reset
-			if err := cn.restart(c.Clock.Now()); err != nil {
+			if err := fn.Restart(c.Clock.Now()); err != nil {
 				panic(fmt.Sprintf("harness: chaos restart: %v", err))
 			}
 		}
@@ -474,7 +364,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	report.Metrics = reg.Snapshot().Counters
 	report.TapFrames = watch.Frames()
 	report.SeqViolations = watch.Violations()
-	report.Violations = invariant.DefaultSuite().Run(snapshotCluster(c, nodes))
+	report.Violations = invariant.DefaultSuite().Run(SnapshotFamilies(c, nodes))
 	report.Arch = c.Snapshot()
 	report.Health = monitor.Check(c.Clock.Now())
 	report.Journal = journal.Entries()

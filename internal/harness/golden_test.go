@@ -53,7 +53,7 @@ func goldenTrace(t *testing.T, proto string) *trace.Tracer {
 		t.Fatalf("Line: %v", err)
 	}
 	for _, node := range c.Nodes {
-		if _, err := deployChaos(c, node, proto); err != nil {
+		if _, err := DeployFamily(c, node, proto); err != nil {
 			t.Fatalf("deploy %s: %v", proto, err)
 		}
 	}

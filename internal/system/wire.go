@@ -1,0 +1,27 @@
+package system
+
+// Wire-class predicates for raw frame payloads, used by measurement taps
+// (the evaluation campaign's overhead accounting) that must classify
+// traffic without decoding it. The discriminator byte is the first payload
+// byte: wireControl frames carry PacketBB, wireData frames carry the data
+// header (see netlink.go).
+
+// IsControlFrame reports whether payload is a routing-control frame
+// (PacketBB under the control discriminator).
+func IsControlFrame(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == wireControl
+}
+
+// IsDataFrame reports whether payload is an application data frame.
+func IsDataFrame(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == wireData
+}
+
+// ControlBody returns the PacketBB bytes of a control frame (the payload
+// with the wire discriminator stripped) and whether payload was one.
+func ControlBody(payload []byte) ([]byte, bool) {
+	if !IsControlFrame(payload) {
+		return nil, false
+	}
+	return payload[1:], true
+}
