@@ -29,12 +29,14 @@ import (
 
 func main() {
 	table := flag.Int("table", 0, "paper table to regenerate (1 or 2)")
-	ablation := flag.String("ablation", "", "ablation to run: concurrency, variants, dymo, hybrid, dispatch")
-	all := flag.Bool("all", false, "run everything")
+	ablation := flag.String("ablation", "", "ablation to run: concurrency, variants, dymo, hybrid, dispatch, scale")
+	all := flag.Bool("all", false, "run everything (except the scale ablation, which has its own CI job)")
 	iters := flag.Int("iters", 2000, "iterations for per-message timing")
 	jsonOut := flag.String("json", "", "also write the measurements to this file as JSON")
 	check := flag.String("check", "", "compare this run against a baseline JSON report")
 	tolerance := flag.Float64("tolerance", 0.01, "fractional tolerance band for -check")
+	minNodesPerSec := flag.Float64("minNodesPerSec", 0, "scale ablation: fail if any cell emulates fewer node·s per wall second")
+	maxAllocsPerRx := flag.Float64("maxAllocsPerRx", 0, "scale ablation: fail if any cell exceeds this many heap allocations per delivered frame")
 	flag.Parse()
 
 	if !*all && *table == 0 && *ablation == "" {
@@ -71,6 +73,13 @@ func main() {
 	if *all || *ablation == "dispatch" {
 		run("Event dispatch path (§6.1)", dispatch)
 	}
+	// The scale ablation is not part of -all: the 5k-node cells take long
+	// enough that CI runs them as a dedicated job.
+	if *ablation == "scale" {
+		run("Scale (sharded event core)", func(r *BenchReport) error {
+			return scale(r, *minNodesPerSec, *maxAllocsPerRx)
+		})
+	}
 
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
@@ -101,6 +110,48 @@ func main() {
 		}
 		fmt.Printf("baseline check passed (%s, tolerance %.1f%%)\n", *check, 100**tolerance)
 	}
+}
+
+// scale sweeps network size with OLSR and AODV live on every node — the
+// thousand-node regime the sharded event core exists for. Frame counts and
+// route liveness are deterministic (virtual clock + seeds) and gated by the
+// committed BENCH_scale.json baseline; throughput and allocation rate are
+// host measurements gated by the absolute -minNodesPerSec / -maxAllocsPerRx
+// floors instead of relative comparison.
+func scale(rep *BenchReport, minNodesPerSec, maxAllocsPerRx float64) error {
+	var gateErrs []string
+	for _, proto := range []string{"olsr", "aodv"} {
+		for _, n := range []int{100, 1000, 5000} {
+			r, err := harness.MeasureScale(harness.ScaleSpec{Protocol: proto, Nodes: n})
+			if err != nil {
+				return err
+			}
+			r.Print()
+			rep.add(fmt.Sprintf("scale_%s_%d", proto, n), map[string]BenchValue{
+				"tx_frames":        det(float64(r.Stats.TxFrames), "frames"),
+				"rx_frames":        det(float64(r.Stats.RxFrames), "frames"),
+				"rx_bytes":         det(float64(r.Stats.RxBytes), "bytes"),
+				"routes":           det(float64(r.Routes), "routes"),
+				"node_sec_per_sec": wall(r.NodeSecPerSec, "node·s/s"),
+				"allocs_per_rx":    wall(r.AllocsPerRx, "allocs/frame"),
+			})
+			if minNodesPerSec > 0 && r.NodeSecPerSec < minNodesPerSec {
+				gateErrs = append(gateErrs, fmt.Sprintf(
+					"scale_%s_%d: %.0f node·s/s below floor %.0f", proto, n, r.NodeSecPerSec, minNodesPerSec))
+			}
+			if maxAllocsPerRx > 0 && r.AllocsPerRx > maxAllocsPerRx {
+				gateErrs = append(gateErrs, fmt.Sprintf(
+					"scale_%s_%d: %.2f allocs/rx above ceiling %.2f", proto, n, r.AllocsPerRx, maxAllocsPerRx))
+			}
+		}
+	}
+	if len(gateErrs) > 0 {
+		for _, e := range gateErrs {
+			fmt.Fprintf(os.Stderr, "GATE: %s\n", e)
+		}
+		return fmt.Errorf("%d scale gate(s) failed", len(gateErrs))
+	}
+	return nil
 }
 
 func hybrid(rep *BenchReport) error {

@@ -9,8 +9,11 @@
 // strength. Mobility scenarios are scripted timeline mutations of the
 // matrix, like MobiEmu scenario playback.
 //
+// Frame delivery runs on the sharded discrete-event engine (engine.go) by
+// default, which scales the medium to thousands of nodes; NewWithConfig
+// selects the original timer-per-delivery path for differential testing.
 // All timing goes through vclock.Clock, so a whole scenario is
-// deterministic under a virtual clock.
+// deterministic under a virtual clock on either engine.
 package emunet
 
 import (
@@ -85,6 +88,17 @@ var (
 
 type linkKey struct{ from, to mnet.Addr }
 
+// neighborLink is one entry of the adjacency index: a directed link with
+// its receiving NIC resolved, kept sorted by destination address. Broadcast
+// fan-out iterates a sender's entries directly — the deterministic receiver
+// order the legacy path got by scanning and sorting the whole O(E) link
+// matrix on every send.
+type neighborLink struct {
+	to  mnet.Addr
+	nic *NIC
+	q   Quality
+}
+
 // Network is the emulated broadcast medium plus connectivity matrix.
 type Network struct {
 	clock vclock.Clock
@@ -93,22 +107,37 @@ type Network struct {
 	rng   *rand.Rand
 	nodes map[mnet.Addr]*NIC
 	links map[linkKey]Quality
-	stats Stats
-	tap   func(Frame, mnet.Addr) // (frame, receiver); nil when unset
-	txTap func(Frame)            // transmission-side tap; nil when unset
-	inj   *Injector              // nil until a FaultPlan is applied
-	obs   *netObs                // nil when observability is disabled
+	adj   map[mnet.Addr][]neighborLink
+	stats Stats                   // legacy engine's global counters
+	eng   *engine                 // nil on the legacy path
+	tap   func(Frame, mnet.Addr)  // (frame, receiver); nil when unset
+	txTap func(Frame)             // transmission-side tap; nil when unset
+	inj   *Injector               // nil until a FaultPlan is applied
+	obs   *netObs                 // nil when observability is disabled
 }
 
-// New creates an empty medium on the given clock. seed drives the loss
-// process, making lossy runs reproducible.
+// New creates an empty medium on the given clock, running the sharded
+// discrete-event engine with default tuning. seed drives the loss process,
+// making lossy runs reproducible.
 func New(clock vclock.Clock, seed int64) *Network {
-	return &Network{
+	return NewWithConfig(clock, seed, EngineConfig{})
+}
+
+// NewWithConfig is New with explicit engine selection and tuning — the
+// constructor differential tests use to pit the legacy timer-per-delivery
+// path against the event core on identical seeds.
+func NewWithConfig(clock vclock.Clock, seed int64, cfg EngineConfig) *Network {
+	n := &Network{
 		clock: clock,
 		rng:   rand.New(rand.NewSource(seed)),
 		nodes: make(map[mnet.Addr]*NIC),
 		links: make(map[linkKey]Quality),
+		adj:   make(map[mnet.Addr][]neighborLink),
 	}
+	if !cfg.Legacy {
+		n.eng = newEngine(n, cfg)
+	}
+	return n
 }
 
 // Clock returns the clock the medium schedules deliveries on.
@@ -166,8 +195,12 @@ func (n *Network) Detach(addr mnet.Addr) error {
 	for k := range n.links {
 		if k.from == addr || k.to == addr {
 			delete(n.links, k)
+			if k.to == addr {
+				n.removeAdjLocked(k.from, addr)
+			}
 		}
 	}
+	delete(n.adj, addr)
 	return nil
 }
 
@@ -191,10 +224,12 @@ func (n *Network) SetDirectedLink(from, to mnet.Addr, q Quality) error {
 	if _, ok := n.nodes[from]; !ok {
 		return fmt.Errorf("%w: %v", ErrNotFound, from)
 	}
-	if _, ok := n.nodes[to]; !ok {
+	toNIC, ok := n.nodes[to]
+	if !ok {
 		return fmt.Errorf("%w: %v", ErrNotFound, to)
 	}
 	n.links[linkKey{from, to}] = q
+	n.setAdjLocked(from, to, toNIC, q)
 	return nil
 }
 
@@ -205,6 +240,36 @@ func (n *Network) CutLink(a, b mnet.Addr) {
 	defer n.mu.Unlock()
 	delete(n.links, linkKey{a, b})
 	delete(n.links, linkKey{b, a})
+	n.removeAdjLocked(a, b)
+	n.removeAdjLocked(b, a)
+}
+
+// setAdjLocked inserts or updates the from→to adjacency entry, keeping the
+// slice sorted by destination. Caller holds n.mu.
+func (n *Network) setAdjLocked(from, to mnet.Addr, nic *NIC, q Quality) {
+	nl := n.adj[from]
+	i := sort.Search(len(nl), func(i int) bool { return !nl[i].to.Less(to) })
+	if i < len(nl) && nl[i].to == to {
+		nl[i].nic, nl[i].q = nic, q
+		return
+	}
+	nl = append(nl, neighborLink{})
+	copy(nl[i+1:], nl[i:])
+	nl[i] = neighborLink{to: to, nic: nic, q: q}
+	n.adj[from] = nl
+}
+
+// removeAdjLocked deletes the from→to adjacency entry if present,
+// preserving order. Caller holds n.mu.
+func (n *Network) removeAdjLocked(from, to mnet.Addr) {
+	nl := n.adj[from]
+	i := sort.Search(len(nl), func(i int) bool { return !nl[i].to.Less(to) })
+	if i >= len(nl) || nl[i].to != to {
+		return
+	}
+	copy(nl[i:], nl[i+1:])
+	nl[len(nl)-1] = neighborLink{}
+	n.adj[from] = nl[:len(nl)-1]
 }
 
 // Linked reports whether from can currently reach to in one hop.
@@ -223,17 +288,20 @@ func (n *Network) LinkQuality(from, to mnet.Addr) (Quality, bool) {
 	return q, ok
 }
 
-// Neighbors lists the nodes from can reach in one hop, sorted.
+// Neighbors lists the nodes from can reach in one hop, sorted. It reads the
+// adjacency index; the links matrix is the ground truth it must agree with
+// (the shard property test checks exactly that).
 func (n *Network) Neighbors(from mnet.Addr) []mnet.Addr {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	var out []mnet.Addr
-	for k := range n.links {
-		if k.from == from {
-			out = append(out, k.to)
-		}
+	nl := n.adj[from]
+	if len(nl) == 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	out := make([]mnet.Addr, len(nl))
+	for i := range nl {
+		out[i] = nl[i].to
+	}
 	return out
 }
 
@@ -257,11 +325,30 @@ func (n *Network) NIC(addr mnet.Addr) (*NIC, bool) {
 	return nic, ok
 }
 
-// Stats returns a snapshot of medium counters.
+// Stats returns a snapshot of medium counters. On the event core this is
+// the sum over spatial shards; on the legacy path, the global struct.
 func (n *Network) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.eng != nil {
+		return n.eng.totalsLocked()
+	}
 	return n.stats
+}
+
+// ShardStats returns a copy of the per-shard medium counters, keyed by
+// spatial shard ID (address / ShardSize). Each counter is attributed to
+// exactly one shard — transmission-side events to the sender's, per-target
+// events to the receiver's — so summing the values reproduces Stats even
+// across shard-boundary links. The legacy engine has no shards and returns
+// nil.
+func (n *Network) ShardStats() map[uint32]Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.eng == nil {
+		return nil
+	}
+	return n.eng.snapshotLocked()
 }
 
 // ResetStats zeroes the medium counters (between experiment phases).
@@ -269,6 +356,19 @@ func (n *Network) ResetStats() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.stats = Stats{}
+	if n.eng != nil {
+		n.eng.shardStats = make(map[uint32]*Stats)
+	}
+}
+
+// statsLocked returns the counter bucket that events at addr are charged
+// to: addr's spatial shard on the event core, the global struct on the
+// legacy path. Caller holds n.mu.
+func (n *Network) statsLocked(addr mnet.Addr) *Stats {
+	if n.eng != nil {
+		return n.eng.statsForLocked(addr)
+	}
+	return &n.stats
 }
 
 // SetTap installs a packet-capture hook (the libpcap analogue): fn observes
@@ -302,44 +402,41 @@ func (n *Network) ScheduleAt(d time.Duration, fn func(*Network)) {
 // send performs the medium's half of a transmission from src.
 func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device, corr string) {
 	n.mu.Lock()
+	now := n.clock.Now()
 	txTap := n.txTap
-	n.stats.TxFrames++
-	n.stats.TxBytes += uint64(len(payload))
+	txStats := n.statsLocked(src)
+	txStats.TxFrames++
+	txStats.TxBytes += uint64(len(payload))
 	if n.obs != nil {
 		n.obs.txFrames.Inc()
 		if n.obs.tracer != nil {
-			n.obs.tracer.Record(n.clock.Now(), trace.Span{
+			n.obs.tracer.Record(now, trace.Span{
 				Node: src.String(), Kind: trace.KindFrameTx,
 				To: traceTo(dst), Corr: corr, Bytes: len(payload),
 			})
 		}
 	}
 
-	type delivery struct {
+	type target struct {
 		nic *NIC
 		q   Quality
 	}
-	var targets []delivery
+	var targets []target
 	if dst.IsBroadcast() {
-		for k, q := range n.links {
-			if k.from != src {
-				continue
-			}
-			if nic, ok := n.nodes[k.to]; ok {
-				targets = append(targets, delivery{nic, q})
-			}
+		// The adjacency index is sorted by destination, which fixes the
+		// delivery order under equal delays.
+		for _, nl := range n.adj[src] {
+			targets = append(targets, target{nl.nic, nl.q})
 		}
-		// Deterministic delivery order under equal delays.
-		sort.Slice(targets, func(i, j int) bool { return targets[i].nic.addr.Less(targets[j].nic.addr) })
 	} else {
 		q, ok := n.links[linkKey{src, dst}]
 		nic, attached := n.nodes[dst]
 		if !ok || !attached {
-			n.stats.DroppedNoLink++
+			n.statsLocked(dst).DroppedNoLink++
 			if n.obs != nil {
 				n.obs.droppedNoLink.Inc()
 				if n.obs.tracer != nil {
-					n.obs.tracer.Record(n.clock.Now(), trace.Span{
+					n.obs.tracer.Record(now, trace.Span{
 						Node: src.String(), Kind: trace.KindFrameDrop,
 						Event: "no-link", To: dst.String(), Corr: corr, Bytes: len(payload),
 					})
@@ -351,7 +448,7 @@ func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device, cor
 			}
 			return
 		}
-		targets = append(targets, delivery{nic, q})
+		targets = append(targets, target{nic, q})
 	}
 
 	// Copy the payload once; receivers must not alias the sender's buffer.
@@ -364,11 +461,11 @@ func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device, cor
 	var due []pending
 	for _, d := range targets {
 		if d.q.Loss > 0 && n.rng.Float64() < d.q.Loss {
-			n.stats.DroppedLoss++
+			n.statsLocked(d.nic.addr).DroppedLoss++
 			if n.obs != nil {
 				n.obs.droppedLoss.Inc()
 				if n.obs.tracer != nil {
-					n.obs.tracer.Record(n.clock.Now(), trace.Span{
+					n.obs.tracer.Record(now, trace.Span{
 						Node: src.String(), Kind: trace.KindFrameDrop,
 						Event: "loss", To: d.nic.addr.String(), Corr: corr, Bytes: len(buf),
 					})
@@ -379,7 +476,7 @@ func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device, cor
 		frame := Frame{Src: src, Dst: dst, Payload: buf, Device: device, RSSI: d.q.SignalDBm, Corr: corr}
 		delay := d.q.Delay
 		if n.inj != nil {
-			extras := n.inj.injectLocked(n, d.nic.addr, &frame, &delay)
+			extras := n.inj.injectLocked(n, n.statsLocked(d.nic.addr), d.nic.addr, &frame, &delay)
 			for _, e := range extras {
 				due = append(due, pending{d.nic, e.frame, e.delay})
 			}
@@ -391,14 +488,24 @@ func (n *Network) send(src mnet.Addr, dst mnet.Addr, payload []byte, device, cor
 			n.obs.linkDelay.Observe(d.delay)
 		}
 	}
+	if n.eng != nil {
+		for _, d := range due {
+			dl := n.eng.newDeliveryLocked()
+			dl.nic = d.nic
+			dl.frame = d.frame
+			n.eng.scheduleLocked(dl, now.Add(d.delay))
+		}
+	}
 	n.mu.Unlock()
 
 	if txTap != nil {
 		txTap(Frame{Src: src, Dst: dst, Payload: payload, Device: device, Corr: corr})
 	}
-	for _, d := range due {
-		d := d
-		n.clock.AfterFunc(d.delay, func() { d.nic.deliver(d.frame) })
+	if n.eng == nil {
+		for _, d := range due {
+			d := d
+			n.clock.AfterFunc(d.delay, func() { d.nic.deliver(d.frame) })
+		}
 	}
 }
 
@@ -475,13 +582,15 @@ func (c *NIC) SendWithFeedbackTagged(dst mnet.Addr, payload []byte, corr string,
 
 	n := c.net
 	n.mu.Lock()
+	now := n.clock.Now()
 	txTap := n.txTap
-	n.stats.TxFrames++
-	n.stats.TxBytes += uint64(len(payload))
+	txStats := n.statsLocked(c.addr)
+	txStats.TxFrames++
+	txStats.TxBytes += uint64(len(payload))
 	if n.obs != nil {
 		n.obs.txFrames.Inc()
 		if n.obs.tracer != nil {
-			n.obs.tracer.Record(n.clock.Now(), trace.Span{
+			n.obs.tracer.Record(now, trace.Span{
 				Node: c.addr.String(), Kind: trace.KindFrameTx,
 				To: dst.String(), Corr: corr, Bytes: len(payload),
 			})
@@ -491,12 +600,12 @@ func (c *NIC) SendWithFeedbackTagged(dst mnet.Addr, payload []byte, corr string,
 	nic, attached := n.nodes[dst]
 	lost := false
 	if !linked || !attached {
-		n.stats.DroppedNoLink++
+		n.statsLocked(dst).DroppedNoLink++
 		if n.obs != nil {
 			n.obs.droppedNoLink.Inc()
 		}
 	} else if q.Loss > 0 && n.rng.Float64() < q.Loss {
-		n.stats.DroppedLoss++
+		n.statsLocked(dst).DroppedLoss++
 		if n.obs != nil {
 			n.obs.droppedLoss.Inc()
 		}
@@ -507,7 +616,7 @@ func (c *NIC) SendWithFeedbackTagged(dst mnet.Addr, payload []byte, corr string,
 		if lost {
 			reason = "loss"
 		}
-		n.obs.tracer.Record(n.clock.Now(), trace.Span{
+		n.obs.tracer.Record(now, trace.Span{
 			Node: c.addr.String(), Kind: trace.KindFrameDrop,
 			Event: reason, To: dst.String(), Corr: corr, Bytes: len(payload),
 		})
@@ -521,11 +630,29 @@ func (c *NIC) SendWithFeedbackTagged(dst mnet.Addr, payload []byte, corr string,
 		frame = Frame{Src: c.addr, Dst: dst, Payload: append([]byte(nil), payload...),
 			Device: c.device, RSSI: q.SignalDBm, Corr: corr}
 		if n.inj != nil {
-			n.inj.corruptOnlyLocked(n, dst, &frame)
+			n.inj.corruptOnlyLocked(n, n.statsLocked(dst), dst, &frame)
 		}
 		if n.obs != nil && n.obs.linkDelay != nil {
 			n.obs.linkDelay.Observe(delay)
 		}
+	}
+	if n.eng != nil {
+		dl := n.eng.newDeliveryLocked()
+		dl.cb = cb
+		if !linked || !attached || lost {
+			// MAC retry window before the failure is reported.
+			n.eng.scheduleLocked(dl, now.Add(q.Delay+2*time.Millisecond))
+		} else {
+			dl.nic = nic
+			dl.frame = frame
+			dl.ok = true
+			n.eng.scheduleLocked(dl, now.Add(delay))
+		}
+		n.mu.Unlock()
+		if txTap != nil {
+			txTap(Frame{Src: c.addr, Dst: dst, Payload: payload, Device: c.device, Corr: corr})
+		}
+		return nil
 	}
 	n.mu.Unlock()
 
@@ -544,7 +671,9 @@ func (c *NIC) SendWithFeedbackTagged(dst mnet.Addr, payload []byte, corr string,
 	return nil
 }
 
-// deliver hands a frame to the receiver callback and accounts for it.
+// deliver hands a frame to the receiver callback and accounts for it — the
+// legacy path's delivery tail. The event core splits the same work into
+// prep/commit halves (engine.go).
 //
 //mk:hotpath
 func (c *NIC) deliver(f Frame) {

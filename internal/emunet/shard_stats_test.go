@@ -1,0 +1,203 @@
+package emunet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"manetkit/internal/mnet"
+	"manetkit/internal/vclock"
+)
+
+// Satellite regression suite for per-shard counter aggregation. The event
+// core buckets Stats by spatial shard; every event must be charged to
+// exactly one shard — tx-side counters to the sender's, per-target counters
+// (rx, drops, fault injections) to the receiver's — so that summing the
+// shard map reproduces the global Stats without double-counting on links
+// whose endpoints live in different shards.
+
+// sumShards folds a ShardStats map back into one Stats struct.
+func sumShards(m map[uint32]Stats) Stats {
+	var total Stats
+	for _, s := range m {
+		total.TxFrames += s.TxFrames
+		total.RxFrames += s.RxFrames
+		total.DroppedLoss += s.DroppedLoss
+		total.DroppedNoLink += s.DroppedNoLink
+		total.TxBytes += s.TxBytes
+		total.RxBytes += s.RxBytes
+		total.Corrupted += s.Corrupted
+		total.Duplicated += s.Duplicated
+		total.Reordered += s.Reordered
+	}
+	return total
+}
+
+// TestShardStatsSumEqualsTotals drives the chaos workload (loss, partition,
+// crash, corruption, duplication, reorder) with shard size 2 — so the lossy
+// line's links all straddle shard boundaries — and asserts the shard-map sum
+// is exactly the global Stats, which in turn equals the legacy engine's.
+func TestShardStatsSumEqualsTotals(t *testing.T) {
+	for _, seed := range []int64{7, 21} {
+		legacyStats, _, _, _, _ := chaosObservables(t, seed, EngineConfig{Legacy: true})
+		for name, cfg := range engineConfigs() {
+			if cfg.Legacy {
+				continue
+			}
+			epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+			clk := vclock.NewVirtual(epoch)
+			net := NewWithConfig(clk, seed, cfg)
+			addrs := Addrs(4)
+			q := DefaultQuality()
+			q.Loss = 0.2
+			if err := BuildLine(net, addrs, q); err != nil {
+				t.Fatalf("BuildLine: %v", err)
+			}
+			plan := NewFaultPlan(seed + 100).
+				Partition(300*time.Millisecond, 600*time.Millisecond, addrs[:2], addrs[2:]).
+				Crash(700*time.Millisecond, 900*time.Millisecond, addrs[1]).
+				CorruptFrames(0, time.Second, 0.3).
+				DuplicateFrames(0, time.Second, 0.3).
+				ReorderFrames(0, time.Second, 0.3, 3*time.Millisecond)
+			plan.Apply(net)
+			for i, a := range addrs {
+				a := a
+				next := addrs[(i+1)%len(addrs)]
+				for k := 0; k < 20; k++ {
+					k := k
+					clk.AfterFunc(time.Duration(k)*50*time.Millisecond, func() {
+						nic, ok := net.NIC(a)
+						if !ok {
+							return
+						}
+						_ = nic.Send(mnet.Broadcast, []byte(fmt.Sprintf("beacon %v %d", a, k)))
+						_ = nic.Send(next, []byte(fmt.Sprintf("uni %v %d", a, k)))
+					})
+				}
+			}
+			clk.Advance(1200 * time.Millisecond)
+
+			total := net.Stats()
+			shards := net.ShardStats()
+			if got := sumShards(shards); got != total {
+				t.Errorf("seed %d %s: shard sum != Stats:\n sum   %+v\n total %+v\n shards %v",
+					seed, name, got, total, shards)
+			}
+			if total != legacyStats {
+				t.Errorf("seed %d %s: Stats != legacy:\n got    %+v\n legacy %+v", seed, name, total, legacyStats)
+			}
+			if cfg.ShardSize == 2 && len(shards) < 2 {
+				t.Errorf("seed %d %s: expected multiple shards, got %d", seed, name, len(shards))
+			}
+		}
+	}
+}
+
+// TestShardStatsAttribution pins the documented charging contract on a
+// single shard-boundary link: with shard size 2, addresses .1/.2 and .3/.4
+// land in different shards, so a lossy A→D unicast stream charges TxFrames
+// to A's shard and RxFrames/DroppedLoss to D's, with nothing counted twice.
+func TestShardStatsAttribution(t *testing.T) {
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	clk := vclock.NewVirtual(epoch)
+	cfg := EngineConfig{ShardSize: 2, ParallelThreshold: 1}
+	net := NewWithConfig(clk, 3, cfg)
+	addrs := Addrs(4)
+	a, d := addrs[0], addrs[3]
+	shardA := a.Uint32() / 2
+	shardB := addrs[1].Uint32() / 2
+	shardD := d.Uint32() / 2
+	if shardA == shardD {
+		t.Fatalf("test setup: %v and %v fell in the same shard %d", a, d, shardA)
+	}
+	for _, ad := range []mnet.Addr{a, d} {
+		if _, err := net.Attach(ad); err != nil {
+			t.Fatalf("Attach: %v", err)
+		}
+	}
+	lossy := DefaultQuality()
+	lossy.Loss = 0.4
+	if err := net.SetDirectedLink(a, d, lossy); err != nil {
+		t.Fatalf("SetDirectedLink: %v", err)
+	}
+
+	nicA, _ := net.NIC(a)
+	const sends = 50
+	for k := 0; k < sends; k++ {
+		k := k
+		clk.AfterFunc(time.Duration(k)*10*time.Millisecond, func() {
+			_ = nicA.Send(d, []byte("x"))
+			// No link A→B exists (B never linked): the no-link drop is a
+			// per-target event and must land in B's shard, not the sender's.
+			_ = nicA.Send(addrs[1], []byte("y"))
+		})
+	}
+	clk.Advance(2 * time.Second)
+
+	total := net.Stats()
+	shards := net.ShardStats()
+	if got := sumShards(shards); got != total {
+		t.Fatalf("shard sum != Stats:\n sum   %+v\n total %+v", got, total)
+	}
+	sa, sd := shards[shardA], shards[shardD]
+	if sa.TxFrames != 2*sends {
+		t.Errorf("sender shard TxFrames = %d, want %d", sa.TxFrames, 2*sends)
+	}
+	if sd.TxFrames != 0 {
+		t.Errorf("receiver shard TxFrames = %d, want 0 (tx charged to sender only)", sd.TxFrames)
+	}
+	if sa.RxFrames != 0 || sa.DroppedLoss != 0 {
+		t.Errorf("sender shard has receive-side counts %+v, want rx/loss in receiver shard only", sa)
+	}
+	if sd.RxFrames+sd.DroppedLoss != sends {
+		t.Errorf("receiver shard rx(%d)+loss(%d) = %d, want %d (each frame exactly once)",
+			sd.RxFrames, sd.DroppedLoss, sd.RxFrames+sd.DroppedLoss, sends)
+	}
+	if sd.RxFrames == 0 || sd.DroppedLoss == 0 {
+		t.Errorf("lossy link should both deliver and drop: %+v", sd)
+	}
+	if got := shards[shardB].DroppedNoLink; got != sends {
+		t.Errorf("no-link drops in target shard %d = %d, want %d (charged to target's shard)",
+			shardB, got, sends)
+	}
+	if sa.DroppedNoLink != 0 {
+		t.Errorf("sender shard DroppedNoLink = %d, want 0", sa.DroppedNoLink)
+	}
+	if total.RxFrames != sd.RxFrames || total.DroppedLoss != sd.DroppedLoss {
+		t.Errorf("totals diverge from the single active receiver shard: total %+v shard %+v", total, sd)
+	}
+}
+
+// TestShardStatsReset covers ResetStats on the event core: the shard map
+// empties and subsequent traffic accumulates from zero.
+func TestShardStatsReset(t *testing.T) {
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	clk := vclock.NewVirtual(epoch)
+	net := NewWithConfig(clk, 1, EngineConfig{ShardSize: 2})
+	addrs := Addrs(2)
+	if err := BuildLine(net, addrs, DefaultQuality()); err != nil {
+		t.Fatalf("BuildLine: %v", err)
+	}
+	nic, _ := net.NIC(addrs[0])
+	_ = nic.Send(addrs[1], []byte("pre"))
+	clk.Advance(50 * time.Millisecond)
+	if s := net.Stats(); s.TxFrames != 1 || s.RxFrames != 1 {
+		t.Fatalf("warmup stats %+v", s)
+	}
+	net.ResetStats()
+	if s := net.Stats(); s != (Stats{}) {
+		t.Fatalf("Stats after reset = %+v, want zero", s)
+	}
+	if m := net.ShardStats(); len(m) != 0 {
+		t.Fatalf("ShardStats after reset = %v, want empty", m)
+	}
+	_ = nic.Send(addrs[1], []byte("post"))
+	clk.Advance(50 * time.Millisecond)
+	s := net.Stats()
+	if s.TxFrames != 1 || s.RxFrames != 1 {
+		t.Fatalf("post-reset stats %+v, want exactly one tx/rx", s)
+	}
+	if got := sumShards(net.ShardStats()); got != s {
+		t.Fatalf("post-reset shard sum %+v != Stats %+v", got, s)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"reflect"
+	"runtime"
 	"testing"
 )
 
@@ -38,6 +39,34 @@ func TestCampaignByteDeterminism(t *testing.T) {
 	first, second := encode(), encode()
 	if !bytes.Equal(first, second) {
 		t.Fatalf("same config, different reports:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+// TestCampaignDeterminismAcrossGOMAXPROCS re-runs the campaign with the
+// scheduler pinned to one CPU and compares against the parallel run. The
+// sharded event core fans epoch prep across worker goroutines, so this is
+// the gate that campaign metrics — delivery ratios, latency percentiles,
+// violation strings — cannot depend on how many workers the host gave us.
+func TestCampaignDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	encode := func() []byte {
+		t.Helper()
+		rep, err := Run(smallConfig())
+		if err != nil {
+			t.Fatalf("campaign: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return buf.Bytes()
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial := encode()
+	runtime.GOMAXPROCS(prev)
+	parallel := encode()
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("campaign diverged across GOMAXPROCS 1 vs %d:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			runtime.GOMAXPROCS(0), serial, parallel)
 	}
 }
 
