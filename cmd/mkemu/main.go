@@ -33,6 +33,17 @@
 //	mkemu -proto aodv -graph arch.dot -paths
 //	mkemu -proto olsr -chaos storm -graph arch.dot -health health.txt
 //	mkemu -proto dymo -duration 5m -http localhost:6060   # then GET /graph
+//
+// Streaming telemetry: with -http, the run is also exported live on
+// /stream/metrics, /stream/spans, /stream/health, /stream/journal and
+// /stream/engine as NDJSON (or SSE with Accept: text/event-stream) —
+// `curl -N` watches the deployment reconfigure as it happens. -record
+// writes the whole run's flight-recorder dump for post-mortem; -replay
+// summarises and fingerprints a dump without running anything:
+//
+//	mkemu -proto olsr -chaos storm -record flight.ndjson
+//	mkemu -replay flight.ndjson
+//	mkemu -proto dymo -duration 5m -http localhost:6060   # curl -N localhost:6060/stream/spans
 package main
 
 import (
@@ -48,6 +59,7 @@ import (
 
 	"manetkit"
 	"manetkit/internal/harness"
+	"manetkit/internal/telemetry"
 )
 
 // epoch anchors the virtual clock and the trace timestamps.
@@ -72,14 +84,36 @@ func main() {
 	graphOut := flag.String("graph", "", "write the final architecture meta-model as Graphviz DOT to this file")
 	showPaths := flag.Bool("paths", false, "reconstruct and print the causal packet paths after the run (implies tracing)")
 	healthOut := flag.String("health", "", "write the final per-unit health report to this file")
+	recordOut := flag.String("record", "", "write the telemetry flight-recorder dump (NDJSON) to this file after the run")
+	replayIn := flag.String("replay", "", "summarise and fingerprint a flight-recorder dump, then exit (no emulation)")
+	sample := flag.Duration("sample", time.Second, "metrics-delta sampling interval on the virtual clock (with -record or -http)")
 	flag.Parse()
+
+	if *replayIn != "" {
+		if err := replayDump(*replayIn); err != nil {
+			fmt.Fprintf(os.Stderr, "mkemu: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var tracer *manetkit.Tracer
 	if *traceOut != "" || *showPaths {
 		tracer = manetkit.NewTracer(epoch, 0)
 	}
+	// The telemetry bus carries the live /stream/* endpoints and the
+	// flight recorder. Spans can only stream if a tracer exists, so a bus
+	// implies one.
+	var bus *telemetry.Bus
+	if *recordOut != "" || *httpAddr != "" {
+		bus = telemetry.New(telemetry.Config{Epoch: epoch})
+		if tracer == nil {
+			tracer = manetkit.NewTracer(epoch, 0)
+		}
+	}
 	insp := introspection{graphOut: *graphOut, healthOut: *healthOut, showPaths: *showPaths}
 	if *httpAddr != "" {
+		telemetry.RegisterStreamHandlers(http.DefaultServeMux, bus)
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "mkemu: http: %v\n", err)
@@ -89,10 +123,17 @@ func main() {
 
 	var err error
 	if *chaos != "" {
-		err = runChaos(*proto, *chaos, *nodes, *seed, *traffic, *showMetrics, tracer, insp)
+		err = runChaos(*proto, *chaos, *nodes, *seed, *traffic, *showMetrics, tracer, bus, insp)
 	} else {
 		err = run(*nodes, *topology, *proto, *duration, *traffic,
-			*fisheye, *multipath, *mobility, *seed, *loss, *showMetrics, *httpAddr != "", tracer, insp)
+			*fisheye, *multipath, *mobility, *seed, *loss, *showMetrics, *httpAddr != "",
+			tracer, bus, *sample, insp)
+	}
+	// Close the bus first so every /stream/* consumer sees a clean end of
+	// stream, then snapshot the recorder.
+	bus.Close()
+	if err == nil && bus != nil && *recordOut != "" {
+		err = writeDump(bus, *recordOut)
 	}
 	if err == nil && tracer != nil && *traceOut != "" {
 		err = writeTrace(tracer, *traceOut)
@@ -145,17 +186,55 @@ func writeTrace(tracer *manetkit.Tracer, path string) error {
 	return nil
 }
 
+// writeDump writes the flight recorder as NDJSON and prints its stable
+// fingerprint — byte-identical for the same seed at any GOMAXPROCS.
+func writeDump(bus *telemetry.Bus, path string) error {
+	events := bus.Events()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteEvents(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("record:  %d events -> %s (fingerprint %s, %d evicted)\n",
+		len(events), path, telemetry.FingerprintEvents(events), bus.Evicted())
+	return nil
+}
+
+// replayDump reads a flight-recorder dump back and prints its per-stream
+// summary and fingerprint — the post-mortem entry point.
+func replayDump(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := telemetry.ReadEvents(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replay:  %s\n%s", path, telemetry.Summarize(events).String())
+	fmt.Printf("fingerprint: %s\n", telemetry.FingerprintEvents(events))
+	return nil
+}
+
 // runChaos executes one scripted fault scenario and reports whether the
 // protocol invariants held. Violations exit non-zero.
 func runChaos(proto, scenario string, nodes int, seed int64, traffic int,
-	showMetrics bool, tracer *manetkit.Tracer, insp introspection) error {
+	showMetrics bool, tracer *manetkit.Tracer, bus *telemetry.Bus, insp introspection) error {
 	report, err := harness.RunChaos(harness.ChaosConfig{
-		Proto:    proto,
-		Scenario: scenario,
-		Nodes:    nodes,
-		Seed:     seed,
-		Traffic:  traffic,
-		Tracer:   tracer,
+		Proto:     proto,
+		Scenario:  scenario,
+		Nodes:     nodes,
+		Seed:      seed,
+		Traffic:   traffic,
+		Tracer:    tracer,
+		Telemetry: bus,
 	})
 	if err != nil {
 		return err
@@ -186,14 +265,15 @@ func runChaos(proto, scenario string, nodes int, seed int64, traffic int,
 
 func run(nodes int, topology, proto string, duration time.Duration, traffic int,
 	fisheye, multipath, mobility bool, seed int64, loss float64,
-	showMetrics, serveHTTP bool, tracer *manetkit.Tracer, insp introspection) error {
+	showMetrics, serveHTTP bool, tracer *manetkit.Tracer, bus *telemetry.Bus,
+	sample time.Duration, insp introspection) error {
 	if nodes < 2 {
 		return fmt.Errorf("need at least 2 nodes")
 	}
 	clk := manetkit.NewVirtualClock(epoch)
 	net := manetkit.NewNetwork(clk, seed)
 	var reg *manetkit.MetricsRegistry
-	if showMetrics || serveHTTP {
+	if showMetrics || serveHTTP || bus != nil {
 		reg = manetkit.NewMetricsRegistry()
 		net.SetMetrics(reg)
 		if serveHTTP {
@@ -202,6 +282,13 @@ func run(nodes int, topology, proto string, duration time.Duration, traffic int,
 	}
 	if tracer != nil {
 		net.SetTracer(tracer)
+		if reg != nil {
+			tracer.SetDropHook(reg.Counter("trace_dropped_total").Inc)
+		}
+	}
+	if bus != nil {
+		telemetry.AttachEngine(bus, net)
+		telemetry.AttachTracer(bus, tracer)
 	}
 	addrs := manetkit.Addrs(nodes)
 	journal := manetkit.NewRewireJournal(epoch)
@@ -277,6 +364,24 @@ func run(nodes int, topology, proto string, duration time.Duration, traffic int,
 	monitor := manetkit.NewHealthMonitor(epoch, reg, manetkit.HealthConfig{})
 	for _, s := range stacks {
 		monitor.Watch(manetkit.HealthTarget{Mgr: s.Manager(), Tables: s.RouteTables()})
+	}
+	if bus != nil {
+		telemetry.AttachJournal(bus, journal)
+		telemetry.AttachHealth(bus, monitor)
+		sampler := telemetry.NewSampler(bus, reg, clk, sample)
+		sampler.Start()
+		defer func() {
+			sampler.SampleNow() // cover the tail of the run
+			sampler.Stop()
+		}()
+		// Health checks every 5 virtual seconds drive the health stream
+		// (and give the streaming endpoint its transition timeline).
+		var healthTick func()
+		healthTick = func() {
+			monitor.Check(clk.Now())
+			clk.AfterFunc(5*time.Second, healthTick)
+		}
+		clk.AfterFunc(5*time.Second, healthTick)
 	}
 	if serveHTTP {
 		// Live introspection endpoints next to /debug/vars and /debug/pprof.

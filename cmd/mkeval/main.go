@@ -9,6 +9,14 @@
 //	mkeval -protos aodv,olsr -seeds 1,2,3    # narrower matrix, more seeds
 //	mkeval -json campaign.json               # machine-readable results
 //	mkeval -check internal/eval/testdata/golden_campaign.json
+//	mkeval -profile /tmp/prof                # per-cell CPU+heap pprof capture
+//
+// With -profile every cell (all its seeds) runs under a CPU profile and
+// snapshots the heap afterwards; the gzipped pprof files land in the given
+// directory as <proto>_<density>_<load>.{cpu,heap}.pb.gz, and each cell's
+// top-N hot symbols are printed and embedded in the -json report under
+// "profile". Profiles are wall-clock artifacts — the behavioural metrics
+// and the -check gate remain deterministic and unaffected.
 //
 // With -check the run is compared against a committed golden report and
 // exits 1 when any cell's PDR, overhead or latency drifts past the
@@ -39,6 +47,8 @@ func main() {
 	pdrTol := flag.Float64("pdr-tol", eval.DefaultTolerances().PDRAbs, "absolute PDR drift allowed by -check")
 	overheadTol := flag.Float64("overhead-tol", eval.DefaultTolerances().OverheadRel, "relative overhead drift allowed by -check")
 	latencyTol := flag.Float64("latency-tol", eval.DefaultTolerances().LatencyRel, "relative p95-latency drift allowed by -check")
+	profileDir := flag.String("profile", "", "capture per-cell CPU+heap pprof profiles under this directory")
+	profileTop := flag.Int("profile-top", eval.DefaultProfileTopN, "hot symbols kept per profile table")
 	flag.Parse()
 
 	cfg := eval.DefaultConfig()
@@ -58,11 +68,17 @@ func main() {
 		}
 	}
 
+	cfg.ProfileDir = *profileDir
+	cfg.ProfileTopN = *profileTop
+
 	rep, err := eval.Run(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	rep.WriteHuman(os.Stdout)
+	if *profileDir != "" {
+		printProfiles(rep)
+	}
 
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
@@ -92,6 +108,26 @@ func main() {
 		}
 		fmt.Printf("golden check passed (%s: pdr ±%.2f, overhead ±%.0f%%, latency ±%.0f%%)\n",
 			*check, tol.PDRAbs, 100*tol.OverheadRel, 100*tol.LatencyRel)
+	}
+}
+
+// printProfiles renders each cell's hot-symbol table after the campaign
+// table — the human view of what -profile embedded in the JSON report.
+func printProfiles(rep *eval.Report) {
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		if c.Profile == nil {
+			continue
+		}
+		fmt.Printf("\nprofile %s (cpu %.1fms sampled, heap %.1fMB inuse):\n",
+			c.Key(), float64(c.Profile.CPUTotalNs)/1e6,
+			float64(c.Profile.HeapInuseBytes)/(1<<20))
+		for _, s := range c.Profile.TopCPU {
+			fmt.Printf("  cpu  %6.1f%% %10.1fms  %s\n", 100*s.Share, float64(s.Flat)/1e6, s.Name)
+		}
+		for _, s := range c.Profile.TopHeap {
+			fmt.Printf("  heap %6.1f%% %10.1fKB  %s\n", 100*s.Share, float64(s.Flat)/1024, s.Name)
+		}
 	}
 }
 

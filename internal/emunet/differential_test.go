@@ -59,7 +59,7 @@ func chaosObservables(t *testing.T, seed int64, cfg EngineConfig) (Stats, []stri
 		})
 	}
 
-	plan := NewFaultPlan(seed + 100).
+	plan := NewFaultPlan(seed+100).
 		Partition(300*time.Millisecond, 600*time.Millisecond, addrs[:2], addrs[2:]).
 		Crash(700*time.Millisecond, 900*time.Millisecond, addrs[1]).
 		CorruptFrames(0, time.Second, 0.3).

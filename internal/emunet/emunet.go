@@ -108,12 +108,17 @@ type Network struct {
 	nodes map[mnet.Addr]*NIC
 	links map[linkKey]Quality
 	adj   map[mnet.Addr][]neighborLink
-	stats Stats                   // legacy engine's global counters
-	eng   *engine                 // nil on the legacy path
-	tap   func(Frame, mnet.Addr)  // (frame, receiver); nil when unset
-	txTap func(Frame)             // transmission-side tap; nil when unset
-	inj   *Injector               // nil until a FaultPlan is applied
-	obs   *netObs                 // nil when observability is disabled
+	stats Stats                  // legacy engine's global counters
+	eng   *engine                // nil on the legacy path
+	tap   func(Frame, mnet.Addr) // (frame, receiver); nil when unset
+	txTap func(Frame)            // transmission-side tap; nil when unset
+	inj   *Injector              // nil until a FaultPlan is applied
+	obs   *netObs                // nil when observability is disabled
+
+	// epochObs, when set, receives one EpochStats per committed engine
+	// epoch, on the clock goroutine, outside the network mutex. Unused on
+	// the legacy path (which has no epochs).
+	epochObs func(EpochStats)
 }
 
 // New creates an empty medium on the given clock, running the sharded
@@ -349,6 +354,27 @@ func (n *Network) ShardStats() map[uint32]Stats {
 		return nil
 	}
 	return n.eng.snapshotLocked()
+}
+
+// SetEpochObserver installs fn to receive one EpochStats per committed
+// engine epoch — the streaming bus's engine feed. fn runs on the clock
+// goroutine, after the epoch's commit phase, outside the network mutex;
+// it is a no-op on the legacy engine. Pass nil to remove.
+func (n *Network) SetEpochObserver(fn func(EpochStats)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.epochObs = fn
+}
+
+// EngineStats returns the event core's cumulative epoch telemetry. ok is
+// false on the legacy engine, which has no epochs.
+func (n *Network) EngineStats() (EngineStats, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.eng == nil {
+		return EngineStats{}, false
+	}
+	return n.eng.engStats, true
 }
 
 // ResetStats zeroes the medium counters (between experiment phases).

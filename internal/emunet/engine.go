@@ -33,12 +33,14 @@
 package emunet
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"manetkit/internal/metrics"
 	"manetkit/internal/mnet"
 	"manetkit/internal/trace"
 	"manetkit/internal/vclock"
@@ -72,6 +74,56 @@ func (c EngineConfig) withDefaults() EngineConfig {
 		c.ParallelThreshold = 64
 	}
 	return c
+}
+
+// EpochStats describes one committed engine epoch — the per-tick shard
+// telemetry the streaming bus exports. Every field is a pure function of
+// the schedule (batch sizes, shard occupancy, virtual-clock deadlines):
+// nothing GOMAXPROCS- or wall-clock-dependent may appear here, because
+// epoch events land in the flight recorder, whose fingerprint must be
+// byte-identical across parallelism settings.
+type EpochStats struct {
+	// Now is the virtual instant the epoch committed at (excluded from the
+	// JSON encoding; the bus stamps its own epoch-relative offset).
+	Now time.Time `json:"-"`
+	// Epoch is the 1-based epoch ordinal.
+	Epoch uint64 `json:"epoch"`
+	// Events is the batch size: frame deliveries plus MAC feedback events
+	// that fell due at this instant.
+	Events int `json:"events"`
+	// Shards is how many receiver shards the batch touched.
+	Shards int `json:"shards"`
+	// MaxShard is the busiest shard's ID and MaxShardEvents its share of
+	// the batch — the imbalance signal.
+	MaxShard       uint32 `json:"max_shard"`
+	MaxShardEvents int    `json:"max_shard_events"`
+	// Parallel reports whether the epoch was parallel-eligible: the batch
+	// met ParallelThreshold with more than one shard group. Whether the
+	// prep fan-out actually engaged additionally depends on GOMAXPROCS,
+	// which deliberately does not appear in telemetry (determinism).
+	Parallel bool `json:"parallel"`
+	// CommitLag is how far past the earliest deadline the commit ran. On a
+	// virtual clock this is 0 by construction; under a real clock it is
+	// the scheduling slip of the anchor timer.
+	CommitLag time.Duration `json:"commit_lag_ns"`
+	// QueueDepth is the number of deliveries still scheduled after the
+	// epoch drained.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// EngineStats are the event core's cumulative counters, aggregated from
+// every committed epoch. Deterministic for a given seed (see EpochStats).
+type EngineStats struct {
+	// Epochs counts committed epochs; ParallelEpochs the parallel-eligible
+	// subset (see EpochStats.Parallel).
+	Epochs         uint64 `json:"epochs"`
+	ParallelEpochs uint64 `json:"parallel_epochs"`
+	// Events is the total delivery count across all epochs.
+	Events uint64 `json:"events"`
+	// MaxEpochEvents and MaxEpochShards are the largest single-epoch batch
+	// and widest shard spread seen.
+	MaxEpochEvents int `json:"max_epoch_events"`
+	MaxEpochShards int `json:"max_epoch_shards"`
 }
 
 // delivery is one scheduled event: a frame arriving at a NIC, or a MAC
@@ -112,6 +164,18 @@ type engine struct {
 	// shard-boundary link therefore contributes each event to exactly one
 	// side, and the sum over shards equals the legacy global Stats.
 	shardStats map[uint32]*Stats
+
+	// engStats accumulates per-epoch telemetry; guarded by the network
+	// mutex like the shard counters.
+	engStats EngineStats
+
+	// Per-shard gauge cache, resolved lazily against the registry the
+	// network currently carries and refreshed at epoch commit for the
+	// shards the epoch touched. Guarded by the network mutex.
+	gaugeReg *metrics.Registry
+	shardRxG map[uint32]*metrics.Gauge
+	shardTxG map[uint32]*metrics.Gauge
+	shardsG  *metrics.Gauge
 
 	// scratch reused across epochs (touched only by the clock goroutine).
 	batch  []*delivery
@@ -257,7 +321,9 @@ func (e *engine) run() {
 		n.mu.Unlock()
 		return
 	}
+	commitLag := now.Sub(batch[0].when)
 	obs := n.obs
+	epochObs := n.epochObs
 	n.mu.Unlock()
 
 	groups := e.prepPhase(batch, obs)
@@ -284,6 +350,20 @@ func (e *engine) run() {
 		e.commit(d, now, obs)
 	}
 
+	es := EpochStats{
+		Now:       now,
+		Events:    len(batch),
+		Shards:    len(groups),
+		Parallel:  len(batch) >= e.cfg.ParallelThreshold && len(groups) > 1,
+		CommitLag: commitLag,
+	}
+	for i := range groups {
+		if ln := len(groups[i].items); ln > es.MaxShardEvents {
+			es.MaxShardEvents = ln
+			es.MaxShard = groups[i].shard
+		}
+	}
+
 	n.mu.Lock()
 	for i, d := range batch {
 		e.free = append(e.free, d)
@@ -291,7 +371,68 @@ func (e *engine) run() {
 	}
 	e.batch = batch[:0]
 	e.rearmLocked()
+	es.QueueDepth = e.q.len()
+	e.engStats.Epochs++
+	es.Epoch = e.engStats.Epochs
+	if es.Parallel {
+		e.engStats.ParallelEpochs++
+	}
+	e.engStats.Events += uint64(es.Events)
+	if es.Events > e.engStats.MaxEpochEvents {
+		e.engStats.MaxEpochEvents = es.Events
+	}
+	if es.Shards > e.engStats.MaxEpochShards {
+		e.engStats.MaxEpochShards = es.Shards
+	}
+	if obs != nil && obs.reg != nil {
+		e.refreshShardGaugesLocked(obs.reg, groups)
+	}
 	n.mu.Unlock()
+
+	if obs != nil {
+		obs.engEpochs.Inc()
+		if es.Parallel {
+			obs.engEpochsParallel.Inc()
+		}
+		obs.engEpochEvents.Add(uint64(es.Events))
+	}
+	// The epoch observer runs outside every lock, after the commit phase,
+	// on the clock goroutine — so bus events interleave deterministically
+	// with the spans the epoch just committed.
+	if epochObs != nil {
+		epochObs(es)
+	}
+}
+
+// refreshShardGaugesLocked mirrors the shard counters the epoch touched
+// into per-shard metrics gauges (net_shard_rx_frames:<id> and
+// net_shard_tx_frames:<id>), making per-shard imbalance visible without a
+// debugger. Gauges refresh lazily — a shard's gauge updates at the commit
+// of any epoch that delivered into it — which bounds the per-epoch cost
+// to the shards actually active. Caller holds the network mutex.
+func (e *engine) refreshShardGaugesLocked(reg *metrics.Registry, groups []shardGroup) {
+	if e.gaugeReg != reg {
+		e.gaugeReg = reg
+		e.shardRxG = make(map[uint32]*metrics.Gauge)
+		e.shardTxG = make(map[uint32]*metrics.Gauge)
+		e.shardsG = reg.Gauge("net_engine_shards")
+	}
+	for i := range groups {
+		sid := groups[i].shard
+		st := e.shardStats[sid]
+		if st == nil {
+			continue
+		}
+		rg := e.shardRxG[sid]
+		if rg == nil {
+			rg = reg.Gauge(fmt.Sprintf("net_shard_rx_frames:%d", sid))
+			e.shardRxG[sid] = rg
+			e.shardTxG[sid] = reg.Gauge(fmt.Sprintf("net_shard_tx_frames:%d", sid))
+		}
+		rg.Set(int64(st.RxFrames))
+		e.shardTxG[sid].Set(int64(st.TxFrames))
+	}
+	e.shardsG.Set(int64(len(e.shardStats)))
 }
 
 // prepPhase runs the node-local half of every delivery, fanning out to

@@ -53,7 +53,7 @@ func TestShardStatsSumEqualsTotals(t *testing.T) {
 			if err := BuildLine(net, addrs, q); err != nil {
 				t.Fatalf("BuildLine: %v", err)
 			}
-			plan := NewFaultPlan(seed + 100).
+			plan := NewFaultPlan(seed+100).
 				Partition(300*time.Millisecond, 600*time.Millisecond, addrs[:2], addrs[2:]).
 				Crash(700*time.Millisecond, 900*time.Millisecond, addrs[1]).
 				CorruptFrames(0, time.Second, 0.3).

@@ -60,6 +60,14 @@ type Config struct {
 	// Warmup and Cooldown bound the traffic window (defaults above).
 	Warmup   time.Duration
 	Cooldown time.Duration
+	// ProfileDir, when non-empty, captures per-cell CPU and heap pprof
+	// profiles under it and embeds top-N hot symbols in each cell's
+	// result (see CellProfile). Profiles are wall-clock artifacts; the
+	// behavioural metrics stay deterministic regardless.
+	ProfileDir string
+	// ProfileTopN bounds the hot-symbol tables (default
+	// DefaultProfileTopN).
+	ProfileTopN int
 }
 
 // DefaultConfig is the standing matrix CI sweeps: 4 families × 3 densities
@@ -91,6 +99,9 @@ func (cfg *Config) fill() error {
 	}
 	if cfg.Cooldown == 0 {
 		cfg.Cooldown = DefaultCooldown
+	}
+	if cfg.ProfileTopN == 0 {
+		cfg.ProfileTopN = DefaultProfileTopN
 	}
 	known := make(map[string]bool)
 	for _, f := range harness.Families() {
@@ -147,13 +158,28 @@ func Run(cfg Config) (*Report, error) {
 					Proto: proto, Density: dname, Load: lname,
 					Nodes: density.Nodes, Flows: load.Flows,
 				}
-				for _, seed := range cfg.Seeds {
-					sr, err := RunCell(proto, density, load, seed, cfg.Warmup, cfg.Cooldown)
-					if err != nil {
-						return nil, fmt.Errorf("eval: cell %s/%s/%s seed %d: %w",
-							proto, dname, lname, seed, err)
+				runSeeds := func() error {
+					for _, seed := range cfg.Seeds {
+						sr, err := RunCell(proto, density, load, seed, cfg.Warmup, cfg.Cooldown)
+						if err != nil {
+							return fmt.Errorf("eval: cell %s/%s/%s seed %d: %w",
+								proto, dname, lname, seed, err)
+						}
+						cell.PerSeed = append(cell.PerSeed, sr)
 					}
-					cell.PerSeed = append(cell.PerSeed, sr)
+					return nil
+				}
+				if cfg.ProfileDir == "" {
+					if err := runSeeds(); err != nil {
+						return nil, err
+					}
+				} else {
+					base := proto + "_" + dname + "_" + lname
+					p, err := profileCell(cfg.ProfileDir, base, cfg.ProfileTopN, runSeeds)
+					if err != nil {
+						return nil, err
+					}
+					cell.Profile = p
 				}
 				cell.aggregate()
 				rep.Cells = append(rep.Cells, cell)

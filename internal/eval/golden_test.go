@@ -59,7 +59,7 @@ func TestCampaignGolden(t *testing.T) {
 		t.Errorf("REGRESSION: %s", finding)
 	}
 	if t.Failed() {
-		t.Logf("network behaviour drifted past tolerance; if intentional, regenerate with "+
+		t.Logf("network behaviour drifted past tolerance; if intentional, regenerate with " +
 			"MANETKIT_UPDATE_GOLDEN=1 go test ./internal/eval -run TestCampaignGolden -update")
 	}
 }

@@ -1,0 +1,119 @@
+// Cell-scoped profiling: `mkeval -profile <dir>` wraps every campaign
+// cell (all its seeds) in a CPU profile, snapshots the heap when the cell
+// finishes, and embeds a top-N hot-symbol table in the report next to the
+// behavioural metrics. The raw pprof files land beside the report for
+// `go tool pprof`; the embedded summary makes "where did this cell spend
+// its time" diffable in CI without any tooling.
+//
+// Profiles are wall-clock artifacts and therefore nondeterministic; they
+// live in CellResult.Profile, which Compare never gates on, and are
+// omitted entirely unless profiling was requested, so default reports are
+// byte-stable as before.
+package eval
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+
+	"manetkit/internal/prof"
+)
+
+// DefaultProfileTopN is how many hot symbols each table keeps.
+const DefaultProfileTopN = 10
+
+// CellProfile summarises one cell's CPU and heap captures.
+type CellProfile struct {
+	// CPUFile and HeapFile are the gzipped pprof dumps (profile.proto),
+	// named <proto>_<density>_<load>.{cpu,heap}.pb.gz under the profile
+	// directory.
+	CPUFile  string `json:"cpu_file"`
+	HeapFile string `json:"heap_file"`
+
+	// CPUTotalNs is the profiler-sampled CPU time over the whole cell
+	// (every seed); 0 when the cell ran too briefly to be sampled.
+	CPUTotalNs int64 `json:"cpu_total_ns"`
+	// HeapInuseBytes is sampled live heap after the cell's clusters were
+	// torn down and the heap settled.
+	HeapInuseBytes int64 `json:"heap_inuse_bytes"`
+
+	// TopCPU and TopHeap are the flat (leaf-attributed) hot-symbol
+	// tables, descending.
+	TopCPU  []prof.Symbol `json:"top_cpu,omitempty"`
+	TopHeap []prof.Symbol `json:"top_heap,omitempty"`
+}
+
+// profileCell runs one cell's seed loop under a CPU profile, snapshots
+// the heap afterwards, writes both dumps under dir and returns their
+// summary. run errors take precedence over profile-plumbing errors.
+func profileCell(dir, base string, topN int, run func() error) (*CellProfile, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("eval: profile dir: %w", err)
+	}
+	cpuPath := filepath.Join(dir, base+".cpu.pb.gz")
+	heapPath := filepath.Join(dir, base+".heap.pb.gz")
+
+	cf, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, fmt.Errorf("eval: profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		cf.Close()
+		return nil, fmt.Errorf("eval: cpu profile: %w", err)
+	}
+	runErr := run()
+	pprof.StopCPUProfile()
+	if cerr := cf.Close(); runErr == nil && cerr != nil {
+		runErr = fmt.Errorf("eval: cpu profile: %w", cerr)
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	// Settle the heap so inuse reflects what the cell left live, not the
+	// garbage it churned.
+	runtime.GC()
+	hf, err := os.Create(heapPath)
+	if err != nil {
+		return nil, fmt.Errorf("eval: profile: %w", err)
+	}
+	err = pprof.Lookup("heap").WriteTo(hf, 0)
+	if cerr := hf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("eval: heap profile: %w", err)
+	}
+
+	cp := &CellProfile{CPUFile: cpuPath, HeapFile: heapPath}
+	cpu, err := parseProfileFile(cpuPath)
+	if err != nil {
+		return nil, err
+	}
+	idx := cpu.DefaultValueIndex()
+	cp.CPUTotalNs = cpu.Total(idx)
+	cp.TopCPU = cpu.TopFlat(topN, idx)
+
+	heap, err := parseProfileFile(heapPath)
+	if err != nil {
+		return nil, err
+	}
+	idx = heap.DefaultValueIndex()
+	cp.HeapInuseBytes = heap.Total(idx)
+	cp.TopHeap = heap.TopFlat(topN, idx)
+	return cp, nil
+}
+
+func parseProfileFile(path string) (*prof.Profile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("eval: profile: %w", err)
+	}
+	p, err := prof.Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("eval: profile %s: %w", path, err)
+	}
+	return p, nil
+}

@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"manetkit/internal/prof"
+)
+
+// TestCampaignCellProfiling runs one real cell under the profiler and
+// checks the whole chain: pprof files on disk, parseable, top tables in
+// the report, and a JSON roundtrip that keeps the profile block.
+func TestCampaignCellProfiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiled campaign cell; skipped in -short")
+	}
+	dir := t.TempDir()
+	cfg := Config{
+		Protos:     []string{"aodv"},
+		Densities:  []string{"sparse"},
+		Loads:      []string{"cbr"},
+		Seeds:      []int64{1},
+		ProfileDir: dir,
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if len(rep.Cells) != 1 {
+		t.Fatalf("want 1 cell, got %d", len(rep.Cells))
+	}
+	p := rep.Cells[0].Profile
+	if p == nil {
+		t.Fatal("profiled run produced no CellProfile")
+	}
+	if p.CPUFile != filepath.Join(dir, "aodv_sparse_cbr.cpu.pb.gz") {
+		t.Errorf("unexpected cpu path %q", p.CPUFile)
+	}
+	var heap *prof.Profile
+	for _, f := range []string{p.CPUFile, p.HeapFile} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("profile artifact missing: %v", err)
+		}
+		parsed, err := prof.Parse(data)
+		if err != nil {
+			t.Fatalf("artifact %s unparseable: %v", f, err)
+		}
+		if f == p.HeapFile {
+			heap = parsed
+		}
+	}
+	// The cell's allocations are dead by dump time, so in-use may be zero;
+	// the cumulative alloc_space dimension must show the run happened.
+	var allocTotal int64
+	for i, st := range heap.SampleTypes {
+		if st.Type == "alloc_space" {
+			allocTotal = heap.Total(i)
+		}
+	}
+	if allocTotal <= 0 {
+		t.Errorf("heap artifact shows no allocations (types %+v)", heap.SampleTypes)
+	}
+	if p.HeapInuseBytes < 0 {
+		t.Errorf("negative heap in-use %d", p.HeapInuseBytes)
+	}
+	if len(p.TopCPU) == 0 {
+		// A fast machine can finish the cell between 10ms CPU samples;
+		// the totals must still be consistent.
+		t.Logf("no CPU samples landed (cell ran %dns of profiled CPU)", p.CPUTotalNs)
+	}
+	for _, s := range append(append([]prof.Symbol{}, p.TopCPU...), p.TopHeap...) {
+		if s.Name == "" || s.Flat <= 0 || s.Share <= 0 || s.Share > 1 {
+			t.Errorf("degenerate symbol in report: %+v", s)
+		}
+	}
+
+	// The profile block survives the report encoding.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.Cells[0].Profile == nil {
+		t.Fatal("profile block lost in JSON roundtrip")
+	}
+	if back.Cells[0].Profile.HeapInuseBytes != p.HeapInuseBytes {
+		t.Errorf("profile mutated across roundtrip")
+	}
+}
+
+// TestDefaultRunsCarryNoProfile: without -profile the field is absent,
+// keeping golden reports byte-stable.
+func TestDefaultRunsCarryNoProfile(t *testing.T) {
+	rep, err := Run(Config{
+		Protos: []string{"aodv"}, Densities: []string{"sparse"},
+		Loads: []string{"cbr"}, Seeds: []int64{1},
+	})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"profile"`)) {
+		t.Fatal("unprofiled report leaked a profile block")
+	}
+}

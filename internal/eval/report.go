@@ -112,6 +112,11 @@ type CellResult struct {
 
 	// Violations totals invariant breaches across all seeds.
 	Violations int `json:"violations"`
+
+	// Profile summarises the cell's CPU/heap pprof captures when the
+	// campaign ran with profiling enabled. Diagnostic only: wall-clock
+	// derived, never gated on by Compare, absent from default runs.
+	Profile *CellProfile `json:"profile,omitempty"`
 }
 
 // Key identifies the cell within a report.

@@ -28,6 +28,7 @@ import (
 	"manetkit/internal/invariant"
 	"manetkit/internal/metrics"
 	"manetkit/internal/mnet"
+	"manetkit/internal/telemetry"
 	"manetkit/internal/testbed"
 	"manetkit/internal/trace"
 )
@@ -67,6 +68,14 @@ type ChaosConfig struct {
 	// (mkemu -trace). It does not perturb the report: span recording is
 	// passive and the fingerprint covers only counters.
 	Tracer *trace.Tracer
+	// Telemetry, when non-nil, streams the run live: engine epochs, rewire
+	// journal entries, health transitions (checked every 5s of virtual
+	// time), metric deltas (sampled every 2s) and — when Tracer is also
+	// set — spans. The bus's epoch must be testbed.Epoch. Attaching a bus
+	// adds periodic health checks, so the report's final Health covers the
+	// last window rather than the whole run; everything fingerprinted
+	// stays untouched.
+	Telemetry *telemetry.Bus
 }
 
 func (cfg *ChaosConfig) fill() error {
@@ -236,9 +245,35 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		return nil, err
 	}
 
+	monitor := inspect.NewMonitor(testbed.Epoch, reg, inspect.MonitorConfig{})
+
+	// Streaming telemetry: every source feeds the bus, and two virtual-time
+	// loops (metric sampling, health checks) pace the continuous streams.
+	// All of it runs on the clock goroutine, so the recorded streams are as
+	// deterministic as the run itself. Attached before the deploys so the
+	// journal and span streams cover the deployment churn too.
+	var sampler *telemetry.Sampler
+	if cfg.Telemetry != nil {
+		b := cfg.Telemetry
+		telemetry.AttachEngine(b, c.Net)
+		telemetry.AttachJournal(b, journal)
+		telemetry.AttachHealth(b, monitor)
+		if cfg.Tracer != nil {
+			telemetry.AttachTracer(b, cfg.Tracer)
+		}
+		sampler = telemetry.NewSampler(b, reg, c.Clock, 2*time.Second)
+		sampler.Start()
+		defer sampler.Stop()
+		var healthTick func()
+		healthTick = func() {
+			monitor.Check(c.Clock.Now())
+			c.Clock.AfterFunc(5*time.Second, healthTick)
+		}
+		c.Clock.AfterFunc(5*time.Second, healthTick)
+	}
+
 	nodes := make([]*FamilyNode, cfg.Nodes)
 	byAddr := make(map[mnet.Addr]*FamilyNode, cfg.Nodes)
-	monitor := inspect.NewMonitor(testbed.Epoch, reg, inspect.MonitorConfig{})
 	for i, node := range c.Nodes {
 		fn, err := DeployFamily(c, node, cfg.Proto)
 		if err != nil {
@@ -358,6 +393,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	if left := 60*time.Second - time.Duration(13+3*cfg.Traffic)*time.Second; left > 0 {
 		c.Run(left)
 	}
+
+	sampler.SampleNow() // cover the tail of the run in the metrics stream
 
 	report.Medium = c.Net.Stats()
 	report.FaultLog = inj.Log()

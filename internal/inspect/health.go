@@ -16,11 +16,25 @@ import (
 // Level grades a health finding.
 type Level string
 
-// Finding severities.
+// Finding severities. LevelOK is never attached to a finding; it is the
+// resting state of a tracked unit between findings.
 const (
+	LevelOK   Level = "ok"
 	LevelWarn Level = "warn"
 	LevelCrit Level = "critical"
 )
+
+// rank orders severities for worst-of aggregation.
+func rank(l Level) int {
+	switch l {
+	case LevelWarn:
+		return 1
+	case LevelCrit:
+		return 2
+	default:
+		return 0
+	}
+}
 
 // Finding is one watchdog observation.
 type Finding struct {
@@ -31,30 +45,75 @@ type Finding struct {
 	Detail string `json:"detail"`
 }
 
+// UnitState is the tracked health state of one location (node, node/unit
+// or unit) across checks: its current level, when it last changed (on the
+// virtual clock) and how many level transitions it has been through — the
+// data behind "degraded for 3.2s, flapped 4x".
+type UnitState struct {
+	// Key is the location: node, node/unit or bare unit name.
+	Key string `json:"key"`
+	// Level is the worst finding level of the last check (LevelOK when the
+	// location was clean).
+	Level Level `json:"level"`
+	// Since is the virtual-clock offset of the last level transition.
+	Since time.Duration `json:"since_ns"`
+	// Flaps counts level transitions since the location was first tracked.
+	Flaps int `json:"flaps"`
+}
+
+// Transition is one health level change, emitted to the observer (and the
+// telemetry health stream) the moment a Check detects it.
+type Transition struct {
+	// T is the virtual-clock offset of the check that saw the change.
+	T time.Duration `json:"t_ns"`
+	// Key is the location whose level changed.
+	Key string `json:"key"`
+	// From and To are the previous and new levels.
+	From Level `json:"from"`
+	To   Level `json:"to"`
+	// Flaps is the location's transition count including this one.
+	Flaps int `json:"flaps"`
+}
+
 // Report is the health roll-up of one Monitor.Check pass: empty findings
 // means every watchdog was satisfied.
 type Report struct {
 	// T is the virtual-clock offset of the check.
 	T        time.Duration `json:"t_ns"`
 	Findings []Finding     `json:"findings"`
+	// States carries the tracked per-location health states (every
+	// location that has ever had a finding), sorted by key.
+	States []UnitState `json:"states,omitempty"`
 }
 
 // Healthy reports whether the check produced no findings.
 func (r Report) Healthy() bool { return len(r.Findings) == 0 }
 
-// String renders the report as one line per finding (or "healthy").
+// String renders the report as one line per finding (or "healthy"),
+// followed by the degraded-state roll-up ("warn for 3.2s, flapped 4x").
 func (r Report) String() string {
-	if r.Healthy() {
-		return fmt.Sprintf("t=%s healthy\n", r.T)
-	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "t=%s %d findings\n", r.T, len(r.Findings))
-	for _, f := range r.Findings {
-		loc := f.Node
-		if f.Unit != "" {
-			loc += "/" + f.Unit
+	if r.Healthy() {
+		fmt.Fprintf(&b, "t=%s healthy\n", r.T)
+	} else {
+		fmt.Fprintf(&b, "t=%s %d findings\n", r.T, len(r.Findings))
+		for _, f := range r.Findings {
+			loc := f.Node
+			if f.Unit != "" {
+				loc += "/" + f.Unit
+			}
+			fmt.Fprintf(&b, "  [%s] %-18s %-22s %s\n", f.Level, f.Check, loc, f.Detail)
 		}
-		fmt.Fprintf(&b, "  [%s] %-18s %-22s %s\n", f.Level, f.Check, loc, f.Detail)
+	}
+	for _, s := range r.States {
+		if s.Level == LevelOK && s.Flaps == 0 {
+			continue
+		}
+		if s.Level == LevelOK {
+			fmt.Fprintf(&b, "  state %-22s recovered %s ago (flapped %dx)\n", s.Key, r.T-s.Since, s.Flaps)
+			continue
+		}
+		fmt.Fprintf(&b, "  state %-22s %s for %s (flapped %dx)\n", s.Key, s.Level, r.T-s.Since, s.Flaps)
 	}
 	return b.String()
 }
@@ -117,6 +176,17 @@ type Monitor struct {
 	mu          sync.Mutex
 	targets     []*watched
 	lastDropped map[string]uint64
+	states      map[string]*UnitState
+	obs         func(Transition)
+}
+
+// SetObserver installs fn to receive every health level transition, in
+// deterministic (sorted key) order per check. fn runs outside the
+// monitor's lock, on the goroutine that called Check. nil detaches.
+func (m *Monitor) SetObserver(fn func(Transition)) {
+	m.mu.Lock()
+	m.obs = fn
+	m.mu.Unlock()
 }
 
 // NewMonitor creates a monitor reading cluster-wide instruments from reg
@@ -124,7 +194,13 @@ type Monitor struct {
 // from epoch.
 func NewMonitor(epoch time.Time, reg *metrics.Registry, cfg MonitorConfig) *Monitor {
 	cfg.fill()
-	return &Monitor{epoch: epoch, reg: reg, cfg: cfg, lastDropped: make(map[string]uint64)}
+	return &Monitor{
+		epoch:       epoch,
+		reg:         reg,
+		cfg:         cfg,
+		lastDropped: make(map[string]uint64),
+		states:      make(map[string]*UnitState),
+	}
 }
 
 // Watch adds a node to the monitor and subscribes to its neighbourhood
@@ -201,7 +277,72 @@ func (m *Monitor) Check(now time.Time) Report {
 		}
 		return a.Unit < b.Unit
 	})
+	r.States, _ = m.advanceStates(&r)
 	return r
+}
+
+// findingKey is the location a finding is tracked under: node, node/unit
+// or bare unit.
+func findingKey(f Finding) string {
+	loc := f.Node
+	if f.Unit != "" {
+		if loc != "" {
+			loc += "/"
+		}
+		loc += f.Unit
+	}
+	return loc
+}
+
+// advanceStates folds one check's findings into the per-location state
+// machine: a location's level is the worst of its findings this pass
+// (LevelOK when clean), every level change bumps its flap counter and
+// resets its Since timestamp, and each change is emitted to the observer
+// in sorted key order. Locations are tracked from their first finding on,
+// so recoveries are visible as explicit ok states.
+func (m *Monitor) advanceStates(r *Report) ([]UnitState, []Transition) {
+	worst := make(map[string]Level, len(r.Findings))
+	for _, f := range r.Findings {
+		key := findingKey(f)
+		if rank(f.Level) > rank(worst[key]) {
+			worst[key] = f.Level
+		}
+	}
+	m.mu.Lock()
+	for key := range worst {
+		if m.states[key] == nil {
+			m.states[key] = &UnitState{Key: key, Level: LevelOK, Since: r.T}
+		}
+	}
+	keys := make([]string, 0, len(m.states))
+	for key := range m.states {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	states := make([]UnitState, 0, len(keys))
+	var trans []Transition
+	for _, key := range keys {
+		st := m.states[key]
+		level := worst[key]
+		if level == "" {
+			level = LevelOK
+		}
+		if level != st.Level {
+			st.Flaps++
+			trans = append(trans, Transition{T: r.T, Key: key, From: st.Level, To: level, Flaps: st.Flaps})
+			st.Level = level
+			st.Since = r.T
+		}
+		states = append(states, *st)
+	}
+	obs := m.obs
+	m.mu.Unlock()
+	if obs != nil {
+		for _, t := range trans {
+			obs(t)
+		}
+	}
+	return states, trans
 }
 
 func (m *Monitor) checkTarget(w *watched, now time.Time, r *Report) {

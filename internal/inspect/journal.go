@@ -43,6 +43,17 @@ type Journal struct {
 	mu      sync.Mutex
 	prev    map[string]NodeSnapshot
 	entries []Entry
+	obs     func(Entry)
+}
+
+// SetObserver installs fn to be called for every appended entry, in
+// append order, under the journal's lock (fn must not call back into the
+// journal). The telemetry bus uses it to stream reconfigurations live.
+// nil detaches.
+func (j *Journal) SetObserver(fn func(Entry)) {
+	j.mu.Lock()
+	j.obs = fn
+	j.mu.Unlock()
 }
 
 // NewJournal creates a journal whose entry timestamps are offsets from
@@ -74,12 +85,16 @@ func (j *Journal) record(m *core.Manager) {
 	if d.Empty() {
 		return
 	}
-	j.entries = append(j.entries, Entry{
+	e := Entry{
 		T:      now.Sub(j.epoch),
 		Node:   snap.Node,
 		Reason: reasonFor(d),
 		Delta:  d,
-	})
+	}
+	j.entries = append(j.entries, e)
+	if j.obs != nil {
+		j.obs(e)
+	}
 }
 
 // reasonFor classifies a delta by its most significant change.

@@ -1,0 +1,420 @@
+// Package prof is a dependency-free reader for pprof profiles
+// (profile.proto): just enough protobuf to turn the gzipped dumps
+// runtime/pprof writes into flat per-function sample totals. The
+// evaluation campaign uses it to embed top-N hot symbols in its
+// machine-readable report, so "ComputeRoutes is ~60% of CPU at 1k nodes"
+// is a tracked artifact instead of folklore.
+//
+// Only the fields the flat view needs are decoded: sample types, samples
+// (leaf-first location stacks and values), locations (their first line's
+// function) and function names. Everything else is skipped field-by-field
+// per the protobuf wire format, so profiles from future Go runtimes keep
+// parsing.
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ValueType names one sample dimension, e.g. {Type: "cpu", Unit:
+// "nanoseconds"} or {Type: "inuse_space", Unit: "bytes"}.
+type ValueType struct {
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+}
+
+// Sample is one profile sample: a leaf-first location stack and one value
+// per sample dimension.
+type Sample struct {
+	Locations []uint64
+	Values    []int64
+}
+
+// Symbol is one entry of a flat top-N table.
+type Symbol struct {
+	Name string `json:"name"`
+	// Flat is the value attributed to samples whose leaf is this symbol.
+	Flat int64 `json:"flat"`
+	// Share is Flat over the profile total for the same dimension.
+	Share float64 `json:"share"`
+}
+
+// Profile is a decoded pprof profile.
+type Profile struct {
+	SampleTypes []ValueType
+	Samples     []Sample
+
+	funcName map[uint64]string // function id -> name
+	locFunc  map[uint64]string // location id -> leaf-line function name
+}
+
+// Parse decodes a pprof profile, transparently gunzipping (runtime/pprof
+// always writes gzip).
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		data = raw
+	}
+
+	// Pass 1: split the top-level message into raw sub-messages; the
+	// string table may follow the records that reference it.
+	var (
+		strTable    []string
+		sampleTypes [][]byte
+		samples     [][]byte
+		locations   [][]byte
+		functions   [][]byte
+	)
+	d := &decoder{b: data}
+	for d.more() {
+		num, wire, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1, 2, 4, 5, 6: // sample_type, sample, location, function, string_table
+			if wire != wireBytes {
+				return nil, fmt.Errorf("prof: field %d: unexpected wire type %d", num, wire)
+			}
+			msg, err := d.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			switch num {
+			case 1:
+				sampleTypes = append(sampleTypes, msg)
+			case 2:
+				samples = append(samples, msg)
+			case 4:
+				locations = append(locations, msg)
+			case 5:
+				functions = append(functions, msg)
+			case 6:
+				strTable = append(strTable, string(msg))
+			}
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i uint64) string {
+		if i < uint64(len(strTable)) {
+			return strTable[i]
+		}
+		return ""
+	}
+
+	p := &Profile{
+		funcName: make(map[uint64]string),
+		locFunc:  make(map[uint64]string),
+	}
+	for _, msg := range sampleTypes {
+		var typ, unit uint64
+		if err := eachField(msg, func(num int, v uint64, _ []byte) {
+			switch num {
+			case 1:
+				typ = v
+			case 2:
+				unit = v
+			}
+		}); err != nil {
+			return nil, err
+		}
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: str(typ), Unit: str(unit)})
+	}
+	for _, msg := range functions {
+		var id, name uint64
+		if err := eachField(msg, func(num int, v uint64, _ []byte) {
+			switch num {
+			case 1:
+				id = v
+			case 2:
+				name = v
+			}
+		}); err != nil {
+			return nil, err
+		}
+		p.funcName[id] = str(name)
+	}
+	for _, msg := range locations {
+		var id, addr uint64
+		var firstFunc uint64
+		haveLine := false
+		if err := eachField(msg, func(num int, v uint64, sub []byte) {
+			switch num {
+			case 1:
+				id = v
+			case 3:
+				addr = v
+			case 4:
+				if haveLine || sub == nil {
+					return
+				}
+				haveLine = true
+				_ = eachField(sub, func(lnum int, lv uint64, _ []byte) {
+					if lnum == 1 {
+						firstFunc = lv
+					}
+				})
+			}
+		}); err != nil {
+			return nil, err
+		}
+		name := p.funcName[firstFunc]
+		if name == "" {
+			name = fmt.Sprintf("0x%x", addr)
+		}
+		p.locFunc[id] = name
+	}
+	for _, msg := range samples {
+		var s Sample
+		if err := eachField(msg, func(num int, v uint64, packed []byte) {
+			switch num {
+			case 1:
+				if packed != nil {
+					s.Locations = append(s.Locations, unpackUints(packed)...)
+				} else {
+					s.Locations = append(s.Locations, v)
+				}
+			case 2:
+				if packed != nil {
+					for _, u := range unpackUints(packed) {
+						s.Values = append(s.Values, int64(u))
+					}
+				} else {
+					s.Values = append(s.Values, int64(v))
+				}
+			}
+		}); err != nil {
+			return nil, err
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	if len(p.SampleTypes) == 0 {
+		return nil, fmt.Errorf("prof: no sample types (not a pprof profile?)")
+	}
+	return p, nil
+}
+
+// DefaultValueIndex picks the dimension a human means by default: the
+// "cpu" nanoseconds for CPU profiles, "inuse_space" for heap profiles,
+// the last dimension otherwise.
+func (p *Profile) DefaultValueIndex() int {
+	for i, vt := range p.SampleTypes {
+		if vt.Type == "cpu" {
+			return i
+		}
+	}
+	for i, vt := range p.SampleTypes {
+		if vt.Type == "inuse_space" {
+			return i
+		}
+	}
+	return len(p.SampleTypes) - 1
+}
+
+// Total sums the given dimension over every sample.
+func (p *Profile) Total(valueIdx int) int64 {
+	var total int64
+	for _, s := range p.Samples {
+		if valueIdx < len(s.Values) {
+			total += s.Values[valueIdx]
+		}
+	}
+	return total
+}
+
+// LeafName resolves a sample's leaf function (pprof stacks are
+// leaf-first).
+func (p *Profile) LeafName(s Sample) string {
+	if len(s.Locations) == 0 {
+		return "(unknown)"
+	}
+	if name := p.locFunc[s.Locations[0]]; name != "" {
+		return name
+	}
+	return "(unknown)"
+}
+
+// TopFlat returns the n hottest symbols by flat (leaf-attributed) value
+// in the given dimension, descending, ties broken by name for
+// deterministic output.
+func (p *Profile) TopFlat(n, valueIdx int) []Symbol {
+	flat := make(map[string]int64)
+	var total int64
+	for _, s := range p.Samples {
+		if valueIdx >= len(s.Values) {
+			continue
+		}
+		v := s.Values[valueIdx]
+		total += v
+		flat[p.LeafName(s)] += v
+	}
+	out := make([]Symbol, 0, len(flat))
+	for name, v := range flat {
+		if v == 0 {
+			// Heap profiles carry freed-everything entries whose inuse
+			// dimension is zero; an all-zero row says nothing.
+			continue
+		}
+		sym := Symbol{Name: name, Flat: v}
+		if total > 0 {
+			sym.Share = float64(v) / float64(total)
+		}
+		out = append(out, sym)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Protobuf wire types used by profile.proto.
+const (
+	wireVarint = 0
+	wire64     = 1
+	wireBytes  = 2
+	wire32     = 5
+)
+
+// decoder walks one protobuf message.
+type decoder struct {
+	b   []byte
+	pos int
+}
+
+func (d *decoder) more() bool { return d.pos < len(d.b) }
+
+func (d *decoder) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if d.pos >= len(d.b) {
+			return 0, fmt.Errorf("prof: truncated varint")
+		}
+		c := d.b[d.pos]
+		d.pos++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, fmt.Errorf("prof: varint overflow")
+		}
+	}
+}
+
+func (d *decoder) tag() (num, wire int, err error) {
+	t, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(t >> 3), int(t & 7), nil
+}
+
+func (d *decoder) bytesField() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.b)-d.pos) {
+		return nil, fmt.Errorf("prof: truncated bytes field")
+	}
+	out := d.b[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+func (d *decoder) skip(wire int) error {
+	switch wire {
+	case wireVarint:
+		_, err := d.varint()
+		return err
+	case wire64:
+		if len(d.b)-d.pos < 8 {
+			return fmt.Errorf("prof: truncated fixed64")
+		}
+		d.pos += 8
+		return nil
+	case wireBytes:
+		_, err := d.bytesField()
+		return err
+	case wire32:
+		if len(d.b)-d.pos < 4 {
+			return fmt.Errorf("prof: truncated fixed32")
+		}
+		d.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("prof: unsupported wire type %d", wire)
+	}
+}
+
+// eachField walks msg's fields. Varint fields invoke fn(num, value, nil);
+// length-delimited fields invoke fn(num, 0, bytes). Other wire types are
+// skipped.
+func eachField(msg []byte, fn func(num int, v uint64, sub []byte)) error {
+	d := &decoder{b: msg}
+	for d.more() {
+		num, wire, err := d.tag()
+		if err != nil {
+			return err
+		}
+		switch wire {
+		case wireVarint:
+			v, err := d.varint()
+			if err != nil {
+				return err
+			}
+			fn(num, v, nil)
+		case wireBytes:
+			sub, err := d.bytesField()
+			if err != nil {
+				return err
+			}
+			fn(num, 0, sub)
+		default:
+			if err := d.skip(wire); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// unpackUints decodes a packed repeated varint field.
+func unpackUints(b []byte) []uint64 {
+	d := &decoder{b: b}
+	var out []uint64
+	for d.more() {
+		v, err := d.varint()
+		if err != nil {
+			return out
+		}
+		out = append(out, v)
+	}
+	return out
+}

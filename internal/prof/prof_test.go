@@ -1,0 +1,124 @@
+package prof
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+)
+
+// spin burns CPU long enough for the profiler's 10ms sampler to land
+// some hits. The sink defeats dead-code elimination.
+var sink uint64
+
+func spin(rounds int) {
+	var x uint64 = 0x9e3779b97f4a7c15
+	for i := 0; i < rounds; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	sink += x
+}
+
+// TestParseCPUProfile exercises the full path on a genuine profile: the
+// runtime writes gzipped profile.proto, we decode it and attribute flat
+// time to leaf symbols.
+func TestParseCPUProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Fatalf("StartCPUProfile: %v", err)
+	}
+	for i := 0; i < 400; i++ {
+		spin(1 << 18)
+	}
+	pprof.StopCPUProfile()
+
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var hasCPU bool
+	for _, st := range p.SampleTypes {
+		if st.Type == "cpu" && st.Unit == "nanoseconds" {
+			hasCPU = true
+		}
+	}
+	if !hasCPU {
+		t.Fatalf("sample types %+v lack cpu/nanoseconds", p.SampleTypes)
+	}
+	if len(p.Samples) == 0 {
+		t.Skip("profiler collected no samples on this platform")
+	}
+	idx := p.DefaultValueIndex()
+	if p.SampleTypes[idx].Type != "cpu" {
+		t.Fatalf("DefaultValueIndex picked %+v", p.SampleTypes[idx])
+	}
+	if p.Total(idx) <= 0 {
+		t.Fatalf("non-positive total %d over %d samples", p.Total(idx), len(p.Samples))
+	}
+
+	top := p.TopFlat(5, idx)
+	if len(top) == 0 {
+		t.Fatal("no top symbols from a busy-loop profile")
+	}
+	var total, prev int64
+	prev = top[0].Flat + 1
+	for _, s := range top {
+		if s.Name == "" || s.Flat <= 0 {
+			t.Fatalf("degenerate symbol %+v", s)
+		}
+		if s.Flat > prev {
+			t.Fatalf("TopFlat not sorted descending: %+v", top)
+		}
+		prev = s.Flat
+		total += s.Flat
+		if s.Share <= 0 || s.Share > 1 {
+			t.Fatalf("share out of range: %+v", s)
+		}
+	}
+	if total > p.Total(idx) {
+		t.Fatalf("top flats sum %d exceed profile total %d", total, p.Total(idx))
+	}
+}
+
+// TestParseHeapProfile checks the in-use dimension selection on a real
+// heap dump.
+func TestParseHeapProfile(t *testing.T) {
+	ballast := make([][]byte, 64)
+	for i := range ballast {
+		ballast[i] = make([]byte, 1<<16)
+	}
+	runtime.GC()
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		t.Fatalf("heap WriteTo: %v", err)
+	}
+	runtime.KeepAlive(ballast)
+
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	idx := p.DefaultValueIndex()
+	if got := p.SampleTypes[idx].Type; got != "inuse_space" {
+		t.Fatalf("heap default dimension %q, want inuse_space (types %+v)", got, p.SampleTypes)
+	}
+	if p.Total(idx) < 1<<20 {
+		t.Fatalf("in-use total %d with 4MiB ballast live", p.Total(idx))
+	}
+	for _, s := range p.TopFlat(10, idx) {
+		if s.Flat == 0 {
+			t.Fatalf("zero-flat symbol leaked through TopFlat: %+v", s)
+		}
+	}
+}
+
+// TestParseRejectsGarbage: arbitrary bytes are an error, not a panic.
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range [][]byte{nil, {0x1f, 0x8b}, []byte("not a profile"), {0xff, 0xff, 0xff}} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted garbage", bad)
+		}
+	}
+}

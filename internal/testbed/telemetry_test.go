@@ -1,0 +1,42 @@
+package testbed_test
+
+import (
+	"testing"
+	"time"
+
+	"manetkit/internal/metrics"
+	"manetkit/internal/testbed"
+	"manetkit/internal/trace"
+)
+
+// TestTraceDropCounterWired: when a cluster has both instruments, every
+// span the trace ring evicts is visible as the cluster-wide
+// trace_dropped_total counter — silent span loss is over.
+func TestTraceDropCounterWired(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := trace.New(testbed.Epoch, 8) // tiny ring: eviction guaranteed
+	c, err := testbed.New(3, testbed.Options{Seed: 1, Metrics: reg, Tracer: tr})
+	if err != nil {
+		t.Fatalf("testbed.New: %v", err)
+	}
+	defer c.Close()
+	if err := c.Line(); err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	// 20 unicast frames, each recording send+delivery spans: far past 8.
+	src, dst := c.Nodes[0].Sys.NIC(), c.Nodes[1].Addr
+	for i := 0; i < 20; i++ {
+		if err := src.Send(dst, []byte("probe")); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+		c.Run(time.Millisecond)
+	}
+
+	dropped := tr.Dropped()
+	if dropped == 0 {
+		t.Fatal("expected ring evictions with capacity 8 over 10s of beaconing")
+	}
+	if got := reg.Snapshot().Counters["trace_dropped_total"]; got != dropped {
+		t.Fatalf("trace_dropped_total = %d, want %d (Tracer.Dropped)", got, dropped)
+	}
+}

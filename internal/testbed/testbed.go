@@ -88,6 +88,12 @@ func New(n int, opts Options) (*Cluster, error) {
 	}
 	if opts.Tracer != nil {
 		net.SetTracer(opts.Tracer)
+		if opts.Metrics != nil {
+			// Ring overflow used to discard spans silently; with both
+			// instruments installed, every eviction now shows up as a
+			// cluster-wide counter.
+			opts.Tracer.SetDropHook(opts.Metrics.Counter("trace_dropped_total").Inc)
+		}
 	}
 	c := &Cluster{Clock: clk, Net: net, opts: opts}
 	for _, addr := range emunet.Addrs(n) {

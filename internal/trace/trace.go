@@ -71,12 +71,14 @@ type Span struct {
 type Tracer struct {
 	epoch time.Time
 
-	mu      sync.Mutex
-	buf     []Span
-	head    int // index of the oldest span
-	count   int
-	seq     uint64
-	dropped uint64
+	mu       sync.Mutex
+	buf      []Span
+	head     int // index of the oldest span
+	count    int
+	seq      uint64
+	dropped  uint64
+	obs      func(Span)
+	dropHook func()
 }
 
 // DefaultCapacity bounds a tracer when New is given a non-positive
@@ -95,6 +97,32 @@ func New(epoch time.Time, capacity int) *Tracer {
 // Enabled reports whether t records spans (false for nil).
 func (t *Tracer) Enabled() bool { return t != nil }
 
+// SetObserver installs fn to be called for every recorded span, after the
+// tracer has stamped its sequence number and timestamp, in record order.
+// fn runs under the tracer's lock and must not call back into the tracer;
+// the telemetry bus uses it to stream spans live. nil detaches.
+func (t *Tracer) SetObserver(fn func(Span)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.obs = fn
+	t.mu.Unlock()
+}
+
+// SetDropHook installs fn to be called once per span evicted by ring
+// overflow — the wiring point for the trace_dropped_total counter, which
+// closes the silent gap where a full ring discarded history unnoticed.
+// fn runs under the tracer's lock; nil detaches.
+func (t *Tracer) SetDropHook(fn func()) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.dropHook = fn
+	t.mu.Unlock()
+}
+
 // Record appends one span, stamping its sequence number and converting now
 // into an epoch offset. When the ring is full the oldest span is evicted
 // and counted in Dropped. Nil tracers discard the span.
@@ -110,9 +138,15 @@ func (t *Tracer) Record(now time.Time, s Span) {
 		t.buf[t.head] = s
 		t.head = (t.head + 1) % len(t.buf)
 		t.dropped++
+		if t.dropHook != nil {
+			t.dropHook()
+		}
 	} else {
 		t.buf[(t.head+t.count)%len(t.buf)] = s
 		t.count++
+	}
+	if t.obs != nil {
+		t.obs(s)
 	}
 	t.mu.Unlock()
 }

@@ -43,6 +43,7 @@ import (
 	"manetkit/internal/policy"
 	"manetkit/internal/route"
 	"manetkit/internal/system"
+	"manetkit/internal/telemetry"
 	"manetkit/internal/trace"
 	"manetkit/internal/vclock"
 	"manetkit/internal/zrp"
@@ -147,6 +148,17 @@ type (
 	HealthReport = inspect.Report
 	// HealthFinding is one watchdog observation.
 	HealthFinding = inspect.Finding
+	// TelemetryBus multiplexes spans, health transitions, journal entries,
+	// metrics deltas and engine epochs into one ordered, subscribable
+	// stream with a bounded flight recorder. Slow subscribers drop (and
+	// count) events; they never stall the run.
+	TelemetryBus = telemetry.Bus
+	// TelemetryEvent is one bus event: sequence, virtual time, stream
+	// name, pre-encoded JSON payload.
+	TelemetryEvent = telemetry.Event
+	// TelemetrySubscription is one consumer's bounded channel plus its
+	// exact published/delivered/dropped accounting.
+	TelemetrySubscription = telemetry.Subscription
 )
 
 // NewFaultPlan starts an empty seeded fault schedule.
@@ -206,6 +218,14 @@ func NewHealthMonitor(epoch time.Time, reg *MetricsRegistry, cfg inspect.Monitor
 
 // HealthConfig tunes the HealthMonitor thresholds.
 type HealthConfig = inspect.MonitorConfig
+
+// NewTelemetryBus builds a streaming telemetry bus anchored at epoch with
+// the default flight-recorder capacity. Wire producers with
+// telemetry.AttachTracer / AttachJournal / AttachHealth / AttachEngine,
+// or pass the bus to harness.ChaosConfig.Telemetry.
+func NewTelemetryBus(epoch time.Time) *TelemetryBus {
+	return telemetry.New(telemetry.Config{Epoch: epoch})
+}
 
 // Concurrency models (§4.4 of the paper).
 const (
