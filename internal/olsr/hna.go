@@ -8,7 +8,6 @@ import (
 	"manetkit/internal/event"
 	"manetkit/internal/mnet"
 	"manetkit/internal/packetbb"
-	"manetkit/internal/route"
 )
 
 // Host and Network Association (HNA) support, as in RFC 3626 §12: nodes
@@ -162,7 +161,7 @@ func (o *OLSR) onHNA(ctx *core.Context, ev *event.Event) error {
 		o.state.hna[p] = hnaEntry{gateway: msg.Originator, expires: now.Add(3 * o.cfg.TCInterval)}
 	}
 	o.state.mu.Unlock()
-	o.installHNARoutes(ctx)
+	o.markDirty(ctx)
 
 	if msg.HopLimit > 1 && o.m.Flooder().ShouldForward(msg.Originator, msg.SeqNum, ev.Src, now) {
 		fwd := msg.Clone()
@@ -171,37 +170,4 @@ func (o *OLSR) onHNA(ctx *core.Context, ev *event.Event) error {
 		ctx.Emit(&event.Event{Type: event.HNAOut, Msg: fwd, Dst: mnet.Broadcast})
 	}
 	return nil
-}
-
-// installHNARoutes mirrors live gateway associations into the routing
-// table: each prefix routes like its gateway, one hop beyond it.
-func (o *OLSR) installHNARoutes(ctx *core.Context) {
-	now := ctx.Clock().Now()
-	o.state.mu.Lock()
-	type assoc struct {
-		p mnet.Prefix
-		e hnaEntry
-	}
-	var live []assoc
-	for p, e := range o.state.hna {
-		if e.expires.After(now) {
-			live = append(live, assoc{p, e})
-		} else {
-			delete(o.state.hna, p)
-		}
-	}
-	o.state.mu.Unlock()
-
-	for _, a := range live {
-		_, path, err := o.state.Routes.Lookup(a.e.gateway)
-		if err != nil {
-			continue // gateway unreachable right now
-		}
-		o.state.Routes.Upsert(route.Entry{
-			Dst:   a.p,
-			Paths: []route.Path{{NextHop: path.NextHop, Metric: path.Metric + 1, Expires: a.e.expires}},
-			Valid: true,
-			Proto: o.proto.Name(),
-		})
-	}
 }

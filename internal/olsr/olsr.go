@@ -31,6 +31,13 @@ type Config struct {
 	TopologyHold time.Duration
 	// RouteHold is the computed-route validity (default TopologyHold).
 	RouteHold time.Duration
+	// RecomputeInterval is the quantum at which triggered route recomputes
+	// are drained (default TCInterval/50). Topology and neighbourhood
+	// changes mark the route set dirty; one vclock timer per node drains
+	// the flag at the next quantization boundary, so a TC flood burst costs
+	// one shortest-path run instead of one per message, with staleness
+	// bounded by this interval.
+	RecomputeInterval time.Duration
 	// FIB, when non-nil, receives the protocol's routes (the kernel table).
 	FIB *route.FIB
 	// Device names the FIB device for installed routes.
@@ -54,6 +61,9 @@ func (c *Config) fill() {
 	if c.RouteHold <= 0 {
 		c.RouteHold = c.TopologyHold
 	}
+	if c.RecomputeInterval <= 0 {
+		c.RecomputeInterval = c.TCInterval / 50
+	}
 	if c.Clock == nil {
 		c.Clock = vclock.Real()
 	}
@@ -65,6 +75,11 @@ type OLSR struct {
 	m     *mpr.MPR
 	state *State
 	cfg   Config
+
+	// Recompute coalescing state, guarded by the protocol's critical
+	// section (handlers, sources and RunLocked callbacks all hold it).
+	dirty      bool         // route set may be stale
+	drainTimer vclock.Timer // armed quantized drain, nil when idle
 
 	// Instruments, resolved from the deployment's registry on Start; nil
 	// (no-op) when the deployment carries no metrics.
@@ -131,6 +146,11 @@ func New(name string, relay *mpr.MPR, cfg Config) *OLSR {
 		return nil
 	})
 	o.proto.OnStop(func(ctx *core.Context) error {
+		if o.drainTimer != nil {
+			o.drainTimer.Stop()
+			o.drainTimer = nil
+		}
+		o.dirty = false
 		o.state.Routes.Clear()
 		return nil
 	})
@@ -216,7 +236,7 @@ func (o *OLSR) onTC(ctx *core.Context, ev *event.Event) error {
 		}
 	}
 	if changed {
-		o.recompute(ctx)
+		o.markDirty(ctx)
 	}
 	// MPR-optimised flood forwarding.
 	if msg.HopLimit > 1 && o.m.Flooder().ShouldForward(msg.Originator, msg.SeqNum, ev.Src, now) {
@@ -230,7 +250,7 @@ func (o *OLSR) onTC(ctx *core.Context, ev *event.Event) error {
 }
 
 func (o *OLSR) onNhood(ctx *core.Context, ev *event.Event) error {
-	o.recompute(ctx)
+	o.markDirty(ctx)
 	return nil
 }
 
@@ -245,7 +265,7 @@ func (o *OLSR) onMPRChange(ctx *core.Context, ev *event.Event) error {
 		o.mTCTx.Inc()
 		ctx.Emit(&event.Event{Type: event.TCOut, Msg: msg, Dst: mnet.Broadcast})
 	}
-	o.recompute(ctx)
+	o.markDirty(ctx)
 	return nil
 }
 
@@ -253,13 +273,52 @@ func (o *OLSR) sweep(ctx *core.Context) {
 	o.state.PurgeTopo(ctx.Clock().Now())
 	// Recompute unconditionally: this refreshes route lifetimes from the
 	// still-live topology (RecordTC reports "unchanged" for pure expiry
-	// refreshes, so changes alone would let routes age out).
-	o.recompute(ctx)
+	// refreshes, so changes alone would let routes age out). The sweep
+	// already runs on a periodic source, so it drains inline rather than
+	// going through the quantized timer.
+	o.dirty = true
+	o.drainLocked(ctx)
 	o.state.Routes.PurgeExpired()
+}
+
+// markDirty notes that the route set may be stale and arms at most one
+// vclock timer to drain the recompute at the next RecomputeInterval
+// boundary. Quantizing the deadline (rather than "now + interval") makes
+// the drain instant a deterministic function of virtual time, so replays
+// are byte-identical regardless of which trigger fired first. Called only
+// inside the protocol's critical section, which is what makes the flag and
+// timer handle safe without a lock of their own.
+func (o *OLSR) markDirty(ctx *core.Context) {
+	o.dirty = true
+	if o.drainTimer != nil {
+		return
+	}
+	clk := ctx.Clock()
+	now := clk.Now()
+	fire := now.Truncate(o.cfg.RecomputeInterval).Add(o.cfg.RecomputeInterval)
+	o.drainTimer = clk.AfterFunc(fire.Sub(now), func() {
+		// The timer callback runs outside the critical section; re-enter it
+		// to drain. A stopped deployment reports ErrNotDeployed — the
+		// pending recompute is moot then.
+		_ = o.proto.RunLocked(o.drainLocked)
+	})
+}
+
+// drainLocked runs the coalesced recompute if one is pending. Critical
+// section held by the caller.
+func (o *OLSR) drainLocked(ctx *core.Context) {
+	o.drainTimer = nil
+	if !o.dirty {
+		return
+	}
+	o.dirty = false
+	o.recompute(ctx)
 }
 
 func (o *OLSR) recompute(ctx *core.Context) {
 	links := o.m.State().Links
+	// ComputeRoutes resolves learned HNA prefixes against the fresh
+	// shortest-path pass and diff-installs hosts and gateways in one batch.
 	o.state.ComputeRoutes(
 		ctx.Node(),
 		links.SymmetricAddrs(),
@@ -268,7 +327,4 @@ func (o *OLSR) recompute(ctx *core.Context) {
 		o.cfg.RouteHold,
 		o.proto.Name(),
 	)
-	// Gateway prefixes route like their gateway; reinstall them on top of
-	// the fresh host-route computation.
-	o.installHNARoutes(ctx)
 }

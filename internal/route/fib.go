@@ -22,6 +22,7 @@ type FIBRoute struct {
 type FIB struct {
 	mu     sync.Mutex
 	routes map[mnet.Prefix]FIBRoute
+	ops    uint64 // mutations applied (Set + successful Del)
 }
 
 // NewFIB returns an empty forwarding table.
@@ -34,6 +35,7 @@ func (f *FIB) Set(r FIBRoute) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.routes[r.Dst] = r
+	f.ops++
 }
 
 // Del removes the route for dst. It reports whether a route was present.
@@ -42,7 +44,19 @@ func (f *FIB) Del(dst mnet.Prefix) bool {
 	defer f.mu.Unlock()
 	_, ok := f.routes[dst]
 	delete(f.routes, dst)
+	if ok {
+		f.ops++
+	}
 	return ok
+}
+
+// Ops returns the number of mutations applied to the table since creation.
+// Diff-install correctness tests use it to prove a steady-state recompute
+// leaves the kernel table untouched.
+func (f *FIB) Ops() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
 }
 
 // Lookup performs longest-prefix-match forwarding resolution.

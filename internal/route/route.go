@@ -36,6 +36,11 @@ type Entry struct {
 	Valid bool
 	// Proto names the owning protocol ("olsr", "dymo", …).
 	Proto string
+
+	// mark is the ReplaceProto sweep generation that last confirmed this
+	// entry as desired; entries owned by the sweeping protocol whose mark is
+	// stale at the end of a sweep have vanished and are removed.
+	mark uint64
 }
 
 // Best returns the lowest-metric unexpired path at time now.
@@ -80,6 +85,12 @@ type Table struct {
 	onChange func(ChangeKind, Entry)
 	fib      *FIB
 	fibDev   string
+
+	// Batch diff-install state: the mark generation distinguishes entries
+	// touched by the current ReplaceProto sweep, and the scratch slices are
+	// reused across sweeps so a no-op recompute stays allocation-free.
+	markGen uint64
+	removed []mnet.Prefix
 }
 
 // NewTable returns an empty RIB on the given clock.
@@ -410,6 +421,192 @@ func (t *Table) Clear() {
 		}
 		delete(t.entries, dst)
 	}
+}
+
+// ProtoRoute is one desired route in the batch diff-install API
+// (ReplaceProto / RefreshProto): a flat single-path value — no per-entry
+// slice — so protocols can assemble whole desired route sets in reusable
+// scratch buffers without allocating.
+type ProtoRoute struct {
+	Dst     mnet.Prefix
+	NextHop mnet.Addr
+	Metric  int       // hop count
+	Expires time.Time // zero means no expiry
+}
+
+// ReplaceStats reports what a batch diff-install actually did. A recompute
+// that changed nothing shows up as pure Refreshed/Kept counts: no change
+// callbacks fired, no FIB writes issued.
+type ReplaceStats struct {
+	Added     int // entries created
+	Updated   int // entries whose path, metric or validity actually changed
+	Refreshed int // identical but for lifetime: expiry advanced in place, silently
+	Kept      int // RefreshProto only: an existing better-or-equal route was kept
+	Removed   int // ReplaceProto only: proto-owned entries absent from desired
+}
+
+// changeRec is a deferred change notification, collected under the table
+// lock and fired after it is released.
+type changeRec struct {
+	kind ChangeKind
+	snap Entry
+}
+
+// ReplaceProto atomically diff-installs the authoritative route set for
+// proto — the install half of an incremental route recompute. Entries whose
+// path actually changed are upserted; entries identical but for lifetime
+// have their expiry advanced in place without firing the change callback or
+// re-mirroring the FIB; entries owned by proto that are absent from desired
+// are removed (other protocols' entries are never touched). The change
+// stream therefore carries only real routing changes: a full recompute that
+// alters nothing is completely silent and allocation-free.
+//
+// Desired entries are single-path; multipath accumulation stays on AddPath.
+//
+//mk:hotpath
+func (t *Table) ReplaceProto(proto string, desired []ProtoRoute) ReplaceStats {
+	return t.installBatch(proto, desired, true)
+}
+
+// RefreshProto is the non-authoritative variant of ReplaceProto used by
+// periodic refreshes that do not own the whole table (ZRP's intrazone IARP
+// refresh): nothing is removed, and a desired route only displaces an
+// existing valid one when it is strictly better (lower metric) — otherwise
+// the existing route is kept and its path lifetimes are extended to at
+// least the desired expiry.
+//
+//mk:hotpath
+func (t *Table) RefreshProto(proto string, desired []ProtoRoute) ReplaceStats {
+	return t.installBatch(proto, desired, false)
+}
+
+//mk:hotpath
+func (t *Table) installBatch(proto string, desired []ProtoRoute, replace bool) ReplaceStats {
+	var stats ReplaceStats
+	now := t.clock.Now()
+	t.mu.Lock()
+	t.markGen++
+	gen := t.markGen
+	fn := t.onChange
+	var changes []changeRec
+	for i := range desired {
+		d := &desired[i]
+		e, ok := t.entries[d.Dst]
+		if !ok {
+			//mk:allow hotalloc new destination appeared — topology change, cold
+			e = &Entry{
+				Dst: d.Dst,
+				//mk:allow hotalloc first path of a new destination, same cold edge
+				Paths: []Path{{NextHop: d.NextHop, Metric: d.Metric, Expires: d.Expires}},
+				Valid: true,
+				Proto: proto,
+				mark:  gen,
+			}
+			t.entries[d.Dst] = e
+			t.mirrorLocked(e)
+			stats.Added++
+			if fn != nil {
+				//mk:allow hotalloc change notification rides the cold topology-change edge
+				changes = append(changes, changeRec{Added, snapshotEntry(e)})
+			}
+			continue
+		}
+		e.mark = gen
+		if !replace && e.Valid {
+			// Keep-better: an existing route at least as short stays; only
+			// its lifetimes stretch to cover the refresh horizon.
+			if best, has := e.Best(now); has && best.Metric <= d.Metric {
+				for pi := range e.Paths {
+					if e.Paths[pi].Expires.IsZero() || e.Paths[pi].Expires.Before(d.Expires) {
+						e.Paths[pi].Expires = d.Expires
+					}
+				}
+				stats.Kept++
+				continue
+			}
+		}
+		if e.Valid && e.Proto == proto && len(e.Paths) == 1 &&
+			e.Paths[0].NextHop == d.NextHop && e.Paths[0].Metric == d.Metric {
+			// Same route: advance the lifetime in place. The FIB carries no
+			// expiry and listeners see no routing change, so both stay quiet.
+			if replace || d.Expires.After(e.Paths[0].Expires) {
+				e.Paths[0].Expires = d.Expires
+			}
+			stats.Refreshed++
+			continue
+		}
+		// The route genuinely changed: rewrite the entry in place, reusing
+		// its path slice when possible.
+		kind := Updated
+		if !e.Valid {
+			kind = Added
+		}
+		e.Proto = proto
+		e.Valid = true
+		e.SeqNum = 0
+		if cap(e.Paths) > 0 {
+			e.Paths = e.Paths[:1]
+			e.Paths[0] = Path{NextHop: d.NextHop, Metric: d.Metric, Expires: d.Expires}
+		} else {
+			//mk:allow hotalloc route change is the cold edge; steady-state recomputes never reach it
+			e.Paths = []Path{{NextHop: d.NextHop, Metric: d.Metric, Expires: d.Expires}}
+		}
+		t.mirrorLocked(e)
+		stats.Updated++
+		if fn != nil {
+			//mk:allow hotalloc change notification rides the cold route-change edge
+			changes = append(changes, changeRec{kind, snapshotEntry(e)})
+		}
+	}
+	if replace {
+		removed := t.removed[:0]
+		for dst, e := range t.entries {
+			if e.Proto == proto && e.mark != gen {
+				//mk:allow hotalloc vanished destination — topology shrink, cold
+				removed = append(removed, dst)
+			}
+		}
+		t.removed = removed[:0]
+		if len(removed) > 0 {
+			sortPrefixes(removed)
+			for _, dst := range removed {
+				e := t.entries[dst]
+				delete(t.entries, dst)
+				if t.fib != nil {
+					t.fib.Del(dst)
+				}
+				stats.Removed++
+				if fn != nil {
+					//mk:allow hotalloc change notification rides the cold topology-shrink edge
+					changes = append(changes, changeRec{Removed, snapshotEntry(e)})
+				}
+			}
+		}
+	}
+	t.mu.Unlock()
+	for i := range changes {
+		fn(changes[i].kind, changes[i].snap)
+	}
+	return stats
+}
+
+// snapshotEntry deep-copies an entry for a change notification. Caller
+// holds t.mu.
+func snapshotEntry(e *Entry) Entry {
+	snap := *e
+	snap.Paths = append([]Path(nil), e.Paths...)
+	return snap
+}
+
+// sortPrefixes orders prefixes by (address, length) — the table's canonical
+// order, keeping removal notifications deterministic.
+func sortPrefixes(ps []mnet.Prefix) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Addr != ps[j].Addr {
+			return ps[i].Addr.Less(ps[j].Addr)
+		}
+		return ps[i].Bits < ps[j].Bits
+	})
 }
 
 // mirrorLocked pushes the entry's current best path into the FIB (or

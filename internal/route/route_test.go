@@ -314,3 +314,188 @@ func TestUpsertEmptyPathsIsInvalid(t *testing.T) {
 		t.Fatal("entry with no paths counted valid")
 	}
 }
+
+// --- batch diff-install (ReplaceProto / RefreshProto) ---
+
+func pr(dst, via string, metric int, exp time.Time) ProtoRoute {
+	return ProtoRoute{Dst: host(dst), NextHop: addr(via), Metric: metric, Expires: exp}
+}
+
+func TestReplaceProtoDiffInstall(t *testing.T) {
+	tb, clk := newTable()
+	var events []ChangeKind
+	tb.OnChange(func(k ChangeKind, _ Entry) { events = append(events, k) })
+	exp := clk.Now().Add(time.Minute)
+
+	st := tb.ReplaceProto("olsr", []ProtoRoute{
+		pr("10.0.0.2", "10.0.0.2", 1, exp),
+		pr("10.0.0.3", "10.0.0.2", 2, exp),
+	})
+	if st.Added != 2 || st.Updated != 0 || st.Removed != 0 {
+		t.Fatalf("initial install stats = %+v", st)
+	}
+	if len(events) != 2 || events[0] != Added || events[1] != Added {
+		t.Fatalf("initial install events = %v", events)
+	}
+
+	// Identical recompute with a later expiry: silent refresh, no events.
+	events = nil
+	exp2 := clk.Now().Add(2 * time.Minute)
+	st = tb.ReplaceProto("olsr", []ProtoRoute{
+		pr("10.0.0.2", "10.0.0.2", 1, exp2),
+		pr("10.0.0.3", "10.0.0.2", 2, exp2),
+	})
+	if st.Refreshed != 2 || st.Added+st.Updated+st.Removed != 0 {
+		t.Fatalf("steady-state stats = %+v", st)
+	}
+	if len(events) != 0 {
+		t.Fatalf("steady-state recompute fired events: %v", events)
+	}
+	// The refresh really did advance the lifetime.
+	e, _ := tb.Get(host("10.0.0.3"))
+	if !e.Paths[0].Expires.Equal(exp2) {
+		t.Fatalf("expiry not refreshed: %v", e.Paths[0].Expires)
+	}
+
+	// One route changes next hop, one vanishes, one appears.
+	events = nil
+	st = tb.ReplaceProto("olsr", []ProtoRoute{
+		pr("10.0.0.2", "10.0.0.2", 1, exp2),
+		pr("10.0.0.3", "10.0.0.4", 2, exp2), // re-routed
+		pr("10.0.0.5", "10.0.0.2", 3, exp2), // new
+	})
+	if st.Refreshed != 1 || st.Updated != 1 || st.Added != 1 || st.Removed != 0 {
+		t.Fatalf("change stats = %+v", st)
+	}
+	st = tb.ReplaceProto("olsr", []ProtoRoute{
+		pr("10.0.0.2", "10.0.0.2", 1, exp2),
+	})
+	if st.Removed != 2 || st.Refreshed != 1 {
+		t.Fatalf("shrink stats = %+v", st)
+	}
+	if len(events) != 4 { // Updated, Added, Removed, Removed
+		t.Fatalf("events = %v", events)
+	}
+	if _, ok := tb.Get(host("10.0.0.5")); ok {
+		t.Fatal("vanished route still present")
+	}
+}
+
+func TestReplaceProtoScopedToProto(t *testing.T) {
+	tb, clk := newTable()
+	exp := clk.Now().Add(time.Minute)
+	tb.Upsert(Entry{Dst: host("10.0.0.9"), Paths: []Path{{NextHop: addr("10.0.0.8"), Metric: 4}}, Valid: true, Proto: "dymo"})
+	tb.ReplaceProto("olsr", []ProtoRoute{pr("10.0.0.2", "10.0.0.2", 1, exp)})
+	if _, ok := tb.Get(host("10.0.0.9")); !ok {
+		t.Fatal("ReplaceProto removed another protocol's entry")
+	}
+	// But a desired entry does take over a prefix previously owned elsewhere.
+	tb.ReplaceProto("olsr", []ProtoRoute{
+		pr("10.0.0.2", "10.0.0.2", 1, exp),
+		pr("10.0.0.9", "10.0.0.2", 2, exp),
+	})
+	e, _ := tb.Get(host("10.0.0.9"))
+	if e.Proto != "olsr" || e.Paths[0].NextHop != addr("10.0.0.2") {
+		t.Fatalf("takeover entry = %+v", e)
+	}
+}
+
+func TestReplaceProtoRevalidatesInvalid(t *testing.T) {
+	tb, clk := newTable()
+	exp := clk.Now().Add(time.Minute)
+	tb.ReplaceProto("olsr", []ProtoRoute{pr("10.0.0.2", "10.0.0.2", 1, exp)})
+	tb.Invalidate(host("10.0.0.2"))
+	var kinds []ChangeKind
+	tb.OnChange(func(k ChangeKind, _ Entry) { kinds = append(kinds, k) })
+	st := tb.ReplaceProto("olsr", []ProtoRoute{pr("10.0.0.2", "10.0.0.2", 1, exp)})
+	if st.Updated != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(kinds) != 1 || kinds[0] != Added {
+		t.Fatalf("revalidation kinds = %v", kinds)
+	}
+	if e, _ := tb.Get(host("10.0.0.2")); !e.Valid {
+		t.Fatal("entry still invalid")
+	}
+}
+
+func TestReplaceProtoMirrorsFIBOnlyOnChange(t *testing.T) {
+	tb, clk := newTable()
+	fib := NewFIB()
+	tb.SyncFIB(fib, "mk0")
+	exp := clk.Now().Add(time.Minute)
+	tb.ReplaceProto("olsr", []ProtoRoute{pr("10.0.0.2", "10.0.0.2", 1, exp)})
+	if _, ok := fib.Lookup(addr("10.0.0.2")); !ok {
+		t.Fatal("FIB not mirrored on install")
+	}
+	ops := fib.Ops()
+	tb.ReplaceProto("olsr", []ProtoRoute{pr("10.0.0.2", "10.0.0.2", 1, clk.Now().Add(2*time.Minute))})
+	if got := fib.Ops(); got != ops {
+		t.Fatalf("steady-state refresh wrote the FIB: ops %d -> %d", ops, got)
+	}
+	tb.ReplaceProto("olsr", nil)
+	if _, ok := fib.Lookup(addr("10.0.0.2")); ok {
+		t.Fatal("removed route still in FIB")
+	}
+}
+
+func TestRefreshProtoKeepsBetterAndNeverRemoves(t *testing.T) {
+	tb, clk := newTable()
+	// A reactive (interzone) route far outside the zone refresh set.
+	tb.Upsert(Entry{Dst: host("10.0.9.9"), Paths: []Path{{NextHop: addr("10.0.0.3"), Metric: 7}}, Valid: true, Proto: "zrp"})
+	// A shorter reactive route that the zone would cover at metric 2.
+	reactiveExp := clk.Now().Add(30 * time.Second)
+	tb.Upsert(Entry{Dst: host("10.0.0.4"), Paths: []Path{{NextHop: addr("10.0.0.4"), Metric: 1, Expires: reactiveExp}}, Valid: true, Proto: "zrp"})
+
+	var events int
+	tb.OnChange(func(ChangeKind, Entry) { events++ })
+	zoneExp := clk.Now().Add(time.Minute)
+	st := tb.RefreshProto("zrp", []ProtoRoute{
+		pr("10.0.0.2", "10.0.0.2", 1, zoneExp),
+		pr("10.0.0.4", "10.0.0.7", 2, zoneExp), // worse than the reactive metric-1 route
+	})
+	if st.Added != 1 || st.Kept != 1 || st.Removed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if events != 1 {
+		t.Fatalf("events = %d", events)
+	}
+	// The reactive route survived with its lifetime extended.
+	e, _ := tb.Get(host("10.0.0.4"))
+	if e.Paths[0].NextHop != addr("10.0.0.4") || e.Paths[0].Metric != 1 {
+		t.Fatalf("better route displaced: %+v", e)
+	}
+	if !e.Paths[0].Expires.Equal(zoneExp) {
+		t.Fatalf("kept route lifetime not extended: %v", e.Paths[0].Expires)
+	}
+	// The out-of-zone route was not touched.
+	if _, ok := tb.Get(host("10.0.9.9")); !ok {
+		t.Fatal("RefreshProto removed an out-of-set route")
+	}
+	// Steady-state refresh is silent.
+	events = 0
+	st = tb.RefreshProto("zrp", []ProtoRoute{
+		pr("10.0.0.2", "10.0.0.2", 1, zoneExp),
+		pr("10.0.0.4", "10.0.0.7", 2, zoneExp),
+	})
+	if events != 0 || st.Added+st.Updated != 0 {
+		t.Fatalf("steady-state refresh: events=%d stats=%+v", events, st)
+	}
+}
+
+func TestReplaceProtoSteadyStateAllocs(t *testing.T) {
+	tb, clk := newTable()
+	desired := make([]ProtoRoute, 0, 256)
+	for i := 0; i < 256; i++ {
+		a := mnet.AddrFrom(0x0a000100 + uint32(i))
+		desired = append(desired, ProtoRoute{Dst: mnet.HostPrefix(a), NextHop: mnet.AddrFrom(0x0a000001), Metric: 2, Expires: clk.Now().Add(time.Minute)})
+	}
+	tb.ReplaceProto("olsr", desired)
+	tb.ReplaceProto("olsr", desired) // warm the removal scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		tb.ReplaceProto("olsr", desired)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state ReplaceProto allocates %.1f times per call", allocs)
+	}
+}

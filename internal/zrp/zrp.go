@@ -17,6 +17,7 @@
 package zrp
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -161,6 +162,12 @@ type ZRP struct {
 	state *State
 	cfg   Config
 
+	// Zone-refresh scratch, reused across refreshes so a steady-state IARP
+	// pass stays allocation-free. Guarded by the protocol's critical
+	// section like the rest of the refresh path.
+	zoneScratch []route.ProtoRoute
+	zoneKeys    []mnet.Addr
+
 	// Instruments, resolved from the deployment's registry on Start; nil
 	// (no-op) when the deployment carries no metrics.
 	mIntrazone   *metrics.Counter // NO_ROUTE satisfied from the zone
@@ -262,37 +269,40 @@ func (z *ZRP) zoneDistance(self, dst mnet.Addr) (dist int, via mnet.Addr) {
 	return 0, mnet.Addr{}
 }
 
-// refreshZone is IARP: install proactive routes for the whole zone.
+// refreshZone is IARP: install proactive routes for the whole zone. The
+// desired set goes through the table's keep-better diff install
+// (RefreshProto) in one batch: shorter reactive (IERP) routes survive with
+// their lifetimes extended, unchanged zone routes refresh in place without
+// firing change callbacks or touching the FIB, and nothing outside the
+// zone is removed. Calls run inside the protocol's critical section, which
+// serialises use of the scratch buffers.
 func (z *ZRP) refreshZone(ctx *core.Context) {
 	now := ctx.Clock().Now()
 	links := z.relay.State().Links
 	expiry := now.Add(z.cfg.ZoneHold)
+	desired := z.zoneScratch[:0]
 	for _, nb := range links.Symmetric() {
-		z.state.Routes.Upsert(route.Entry{
-			Dst:   mnet.HostPrefix(nb.Addr),
-			Paths: []route.Path{{NextHop: nb.Addr, Metric: 1, Expires: expiry}},
-			Valid: true,
-			Proto: z.proto.Name(),
+		desired = append(desired, route.ProtoRoute{
+			Dst: mnet.HostPrefix(nb.Addr), NextHop: nb.Addr, Metric: 1, Expires: expiry,
 		})
 	}
-	for dst, vias := range links.TwoHopSet(ctx.Node()) {
+	twoHop := links.TwoHopSet(ctx.Node())
+	keys := z.zoneKeys[:0]
+	for dst := range twoHop {
+		keys = append(keys, dst)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	for _, dst := range keys {
+		vias := twoHop[dst]
 		if len(vias) == 0 {
 			continue
 		}
-		// Keep reactive routes that are already shorter or equal.
-		if e, ok := z.state.Routes.Get(mnet.HostPrefix(dst)); ok && e.Valid {
-			if best, has := e.Best(now); has && best.Metric <= 2 {
-				z.state.Routes.ExtendLifetime(mnet.HostPrefix(dst), mnet.Addr{}, z.cfg.ZoneHold)
-				continue
-			}
-		}
-		z.state.Routes.Upsert(route.Entry{
-			Dst:   mnet.HostPrefix(dst),
-			Paths: []route.Path{{NextHop: vias[0], Metric: 2, Expires: expiry}},
-			Valid: true,
-			Proto: z.proto.Name(),
+		desired = append(desired, route.ProtoRoute{
+			Dst: mnet.HostPrefix(dst), NextHop: vias[0], Metric: 2, Expires: expiry,
 		})
 	}
+	z.zoneScratch, z.zoneKeys = desired[:0], keys[:0]
+	z.state.Routes.RefreshProto(z.proto.Name(), desired)
 }
 
 // onNhood keeps the zone fresh on membership changes and invalidates

@@ -9,6 +9,7 @@ import (
 	"manetkit/internal/emunet"
 	"manetkit/internal/mnet"
 	"manetkit/internal/mpr"
+	"manetkit/internal/route"
 	"manetkit/internal/testbed"
 )
 
@@ -260,5 +261,39 @@ func TestBorderlessZone(t *testing.T) {
 		if st.Discoveries != 0 || st.ZoneAnswers != 0 || st.TerminalAnswers != 0 {
 			t.Fatalf("node %d ran IERP machinery on a borderless network: %+v", i, st)
 		}
+	}
+}
+
+func TestZoneRefreshIsChurnFree(t *testing.T) {
+	// Once the zone has converged, periodic IARP refreshes must be pure
+	// lifetime extensions: no route-change callbacks, no FIB writes.
+	c, nodes := deployZRP(t, 3, Config{})
+	if err := c.Line(); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(6 * time.Second)
+	mid := nodes[1]
+	if got := mid.zrp.Routes().ValidCount(); got != 2 {
+		t.Fatalf("zone not converged: %d routes", got)
+	}
+	var mu sync.Mutex
+	churn := 0
+	mid.zrp.Routes().OnChange(func(route.ChangeKind, route.Entry) {
+		mu.Lock()
+		churn++
+		mu.Unlock()
+	})
+	fibOps := mid.node.FIB().Ops()
+	c.Run(10 * time.Second) // several ZoneHold periods of steady state
+	mu.Lock()
+	defer mu.Unlock()
+	if churn != 0 {
+		t.Fatalf("steady-state zone refresh fired %d change callbacks", churn)
+	}
+	if got := mid.node.FIB().Ops(); got != fibOps {
+		t.Fatalf("steady-state zone refresh wrote the FIB: ops %d -> %d", fibOps, got)
+	}
+	if got := mid.zrp.Routes().ValidCount(); got != 2 {
+		t.Fatalf("zone routes decayed during refresh-only window: %d", got)
 	}
 }
