@@ -43,9 +43,9 @@ import (
 	"manetkit/internal/analysis"
 )
 
-// modulePrefix limits analysis to this repository's packages; dependencies
-// (including the stdlib packages go vet also feeds through the tool) are
-// type-checked by their exporters, not re-analyzed here.
+// modulePrefix is the fallback package filter when cmd/go supplies no
+// ModulePath; dependencies (including the stdlib packages go vet also feeds
+// through the tool) are type-checked by their exporters, not re-analyzed here.
 const modulePrefix = "manetkit"
 
 func main() {
@@ -130,14 +130,13 @@ func unitcheck(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "mkvet: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// cmd/go requires the facts file regardless of whether we analyze.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("mkvet-facts-v1\n"), 0o666); err != nil {
-			fmt.Fprintf(os.Stderr, "mkvet: writing %s: %v\n", cfg.VetxOutput, err)
-			return 1
-		}
+	// cmd/go requires the facts file regardless of whether we analyze; write
+	// an empty set up front so every early return leaves a valid file, then
+	// overwrite with the real summaries after analysis.
+	if !writeFacts(&cfg, analysis.NewFactSet()) {
+		return 1
 	}
-	if cfg.VetxOnly || !inModule(&cfg) {
+	if !inModule(&cfg) {
 		return 0
 	}
 
@@ -176,9 +175,19 @@ func unitcheck(cfgPath string) int {
 		return 1
 	}
 
-	diags, err := analysis.Run(fset, files, pkg, info, analysis.All())
+	imported := importedFacts(&cfg)
+	if cfg.VetxOnly {
+		// This package is only a dependency of the packages under vet: export
+		// its summaries for them, report nothing here.
+		writeFacts(&cfg, analysis.ComputeFacts(fset, files, pkg, info, imported))
+		return 0
+	}
+	diags, facts, err := analysis.RunWithFacts(fset, files, pkg, info, analysis.All(), imported)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mkvet: %v\n", err)
+		return 1
+	}
+	if !writeFacts(&cfg, facts) {
 		return 1
 	}
 	for _, d := range diags {
@@ -188,6 +197,45 @@ func unitcheck(cfgPath string) int {
 		return 2
 	}
 	return 0
+}
+
+// writeFacts serializes a fact set to the VetxOutput path (no-op when cmd/go
+// did not request one). Reports success.
+func writeFacts(cfg *vetConfig, facts *analysis.FactSet) bool {
+	if cfg.VetxOutput == "" {
+		return true
+	}
+	var buf strings.Builder
+	if err := analysis.EncodeFacts(&buf, facts); err != nil {
+		fmt.Fprintf(os.Stderr, "mkvet: encoding facts: %v\n", err)
+		return false
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte(buf.String()), 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "mkvet: writing %s: %v\n", cfg.VetxOutput, err)
+		return false
+	}
+	return true
+}
+
+// importedFacts merges the fact files of every dependency cmd/go handed us
+// via PackageVetx. Each exported set is cumulative (it carries the exporter's
+// transitive facts), so direct imports suffice. Unreadable or legacy files
+// degrade to intra-procedural precision, never to a failure.
+func importedFacts(cfg *vetConfig) *analysis.FactSet {
+	merged := analysis.NewFactSet()
+	for _, file := range cfg.PackageVetx {
+		f, err := os.Open(file)
+		if err != nil {
+			continue
+		}
+		set, err := analysis.DecodeFacts(f)
+		f.Close()
+		if err != nil {
+			continue
+		}
+		merged.Merge(set)
+	}
+	return merged
 }
 
 // compiler returns the export-data flavor for the importer; cmd/go sets
@@ -213,15 +261,20 @@ func (cfg *vetConfig) lookup(path string) (io.ReadCloser, error) {
 	return os.Open(file)
 }
 
-// inModule reports whether the package under vet belongs to this repository.
-// Test variants carry ImportPaths like "manetkit/internal/core.test" and
-// "manetkit/internal/core [manetkit/internal/core.test]", so prefix-match.
+// inModule reports whether the package under vet should be analyzed: any
+// non-standard package that belongs to a module. In CI that is exactly this
+// repository (stdlib dependencies arrive with Standard set or no ModulePath);
+// accepting other module paths lets the protocol tests drive the tool over a
+// scratch module. Test variants carry ImportPaths like
+// "manetkit/internal/core.test" and
+// "manetkit/internal/core [manetkit/internal/core.test]", so prefix-match in
+// the fallback.
 func inModule(cfg *vetConfig) bool {
 	if cfg.Standard[cfg.ImportPath] {
 		return false
 	}
 	if cfg.ModulePath != "" {
-		return cfg.ModulePath == modulePrefix
+		return true
 	}
 	return cfg.ImportPath == modulePrefix || strings.HasPrefix(cfg.ImportPath, modulePrefix+"/")
 }

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestAllowBudget keeps the module's //mk:allow population auditable: every
+// suppression in non-fixture source must appear in allow_budget.txt (the
+// committed inventory of audited waivers, one "path<TAB>analyzer<TAB>reason"
+// line per allow). A new allow fails this test until the budget is
+// regenerated — which is the review hook: the diff to allow_budget.txt shows
+// exactly which invariant is being waived where, and why.
+//
+// Regenerate with:
+//
+//	MANETKIT_UPDATE_GOLDEN=1 go test ./internal/analysis -run TestAllowBudget
+func TestAllowBudget(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+
+	var got []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Fixture allows are test inputs, not audited waivers; .git and
+			// editor/tool state are not source.
+			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				names, reason, ok := parseAllow(text)
+				if !ok {
+					continue
+				}
+				if len(names) == 0 || reason == "" {
+					t.Errorf("%s: unaudited suppression %q: every //mk:allow needs an analyzer name and a reason", rel, c.Text)
+					continue
+				}
+				for _, name := range names {
+					got = append(got, rel+"\t"+name+"\t"+reason)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	body := strings.Join(got, "\n") + "\n"
+
+	budgetPath := filepath.Join(root, "internal", "analysis", "allow_budget.txt")
+	if os.Getenv("MANETKIT_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(budgetPath, []byte(body), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d audited suppressions", budgetPath, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(budgetPath)
+	if err != nil {
+		t.Fatalf("read %s: %v (regenerate with MANETKIT_UPDATE_GOLDEN=1 go test ./internal/analysis -run TestAllowBudget)", budgetPath, err)
+	}
+	want := map[string]int{}
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		if line != "" {
+			want[line]++
+		}
+	}
+	have := map[string]int{}
+	for _, line := range got {
+		have[line]++
+	}
+	for line, n := range have {
+		if want[line] < n {
+			t.Errorf("suppression not in the audited budget (%d in source, %d budgeted):\n  %s\naudit it and regenerate allow_budget.txt", n, want[line], line)
+		}
+	}
+	for line, n := range want {
+		if have[line] < n {
+			t.Errorf("stale budget entry (%d budgeted, %d in source):\n  %s\nregenerate allow_budget.txt", n, have[line], line)
+		}
+	}
+}

@@ -15,7 +15,20 @@
 //   - hotalloc: allocation sites inside //mk:hotpath functions (the static
 //     complement of the det(0) runtime alloc gate);
 //   - ctxleak: pooled handler Contexts escaping the delivery that owns them;
-//   - atomicstats: mixed atomic/plain access to the same struct field.
+//   - atomicstats: mixed atomic/plain access to the same struct field;
+//   - epochpurity: impure work reachable from the engine's parallel
+//     epoch-prep phase (//mk:parallelprep — the DESIGN.md §8 replay argument);
+//   - blockingpub: blocking operations reachable from the telemetry
+//     publish/fan-out path (//mk:nonblocking — the backpressure contract);
+//   - maporder: map iteration order reaching deterministic outputs
+//     (telemetry events, trace spans, NDJSON, fingerprints) unsorted.
+//
+// The suite is interprocedural: factbuild.go computes per-function summaries
+// ("may emit", "may allocate", "may block", "may violate epoch purity",
+// "returns map-order-tainted data"), closes them over the package call graph,
+// and mkvet serializes them through the vet.cfg VetxOutput/PackageVetx
+// plumbing so lockemit, hotalloc and the reachability analyzers see through
+// helpers in other packages and report the offending call chain.
 //
 // Analyzers run over standard go/ast + go/types input, so they work both
 // under `go vet -vettool=mkvet` (export-data type checking, see cmd/mkvet)
@@ -68,6 +81,10 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Facts is the interprocedural view: per-function summaries for this
+	// package (closed over its call graph) plus summaries imported from
+	// dependency fact files. See factbuild.go.
+	Facts *Facts
 
 	directives *directiveIndex
 	report     func(Diagnostic)
@@ -92,9 +109,21 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
 // Run executes the analyzers over one typed package and returns the surviving
 // diagnostics sorted by position. Directive scanning (//mk:allow, //mk:hotpath)
-// is shared across analyzers.
+// is shared across analyzers. No imported facts: transitive analysis covers
+// the package's own call graph only.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunWithFacts(fset, files, pkg, info, analyzers, nil)
+	return diags, err
+}
+
+// RunWithFacts is Run seeded with dependency summaries (from mkvet's
+// PackageVetx fact files, or sibling fixtures in analysistest). It also
+// returns the cumulative fact set to serialize for importing packages.
+// Diagnostics come back sorted by position and deduplicated, so the output
+// order is stable for the vet cache and for golden assertions.
+func RunWithFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, imported *FactSet) ([]Diagnostic, *FactSet, error) {
 	idx := indexDirectives(fset, files)
+	facts := buildFacts(fset, files, pkg, info, idx, imported)
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -103,11 +132,12 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 			Files:      files,
 			Pkg:        pkg,
 			Info:       info,
+			Facts:      facts,
 			directives: idx,
 			report:     func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 	}
 	diags = append(diags, idx.malformed...)
@@ -122,9 +152,29 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
-	return diags, nil
+	// Dedup: two analyzers (or one analyzer via two paths) reporting the
+	// same finding at the same position collapse to one line.
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out, facts.Exported(), nil
+}
+
+// ComputeFacts builds and returns the cumulative fact set for one package
+// without running any analyzer — the fixture importer uses it to mimic
+// mkvet's cross-package fact flow inside analysistest.
+func ComputeFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, imported *FactSet) *FactSet {
+	idx := indexDirectives(fset, files)
+	return buildFacts(fset, files, pkg, info, idx, imported).Exported()
 }
 
 // NewInfo returns a types.Info populated with every map the analyzers need.
@@ -144,6 +194,12 @@ func NewInfo() *types.Info {
 const (
 	allowPrefix   = "mk:allow"
 	hotpathMarker = "mk:hotpath"
+	// parallelPrepMarker names a function that runs on the engine's parallel
+	// epoch-prep workers; epochpurity checks everything reachable from it.
+	parallelPrepMarker = "mk:parallelprep"
+	// nonblockingMarker names a publish/fan-out entry point that must never
+	// block; blockingpub checks everything reachable from it.
+	nonblockingMarker = "mk:nonblocking"
 )
 
 // directiveIndex maps (file, line) to the analyzer names allowed there, plus
@@ -275,6 +331,16 @@ func docAllowNames(doc *ast.CommentGroup) []string {
 // isHotpath reports whether fn's doc comment carries //mk:hotpath.
 func isHotpath(fn *ast.FuncDecl) bool {
 	return fn.Doc != nil && docHasDirective(fn.Doc, hotpathMarker)
+}
+
+// isParallelPrep reports whether fn's doc comment carries //mk:parallelprep.
+func isParallelPrep(fn *ast.FuncDecl) bool {
+	return fn.Doc != nil && docHasDirective(fn.Doc, parallelPrepMarker)
+}
+
+// isNonblocking reports whether fn's doc comment carries //mk:nonblocking.
+func isNonblocking(fn *ast.FuncDecl) bool {
+	return fn.Doc != nil && docHasDirective(fn.Doc, nonblockingMarker)
 }
 
 // --- shared type helpers ----------------------------------------------------

@@ -37,6 +37,53 @@ func TestAtomicstatsFixture(t *testing.T) {
 	analysistest.Run(t, "testdata", "atomicfix", analysis.Atomicstats)
 }
 
+func TestEpochpurityFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", "emunet", analysis.Epochpurity)
+}
+
+func TestBlockingpubFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", "telemetry", analysis.Blockingpub)
+}
+
+func TestMaporderFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", "maporderfix", analysis.Maporder)
+}
+
+// TestCrossPackageFacts drives factuser, whose transitive lockemit and
+// hotalloc diagnostics exist only if factlib's fact summaries crossed the
+// package boundary (the analysistest importer mirrors mkvet's PackageVetx
+// hand-off).
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, "testdata", "factuser", analysis.Lockemit, analysis.Hotalloc)
+}
+
+// TestExportedFactSummaries asserts on the summaries themselves: what a
+// package writes into its fact file for importers.
+func TestExportedFactSummaries(t *testing.T) {
+	lib := analysistest.Facts(t, "testdata", "factlib")
+	notify, ok := lib.Lookup("factlib.Notify")
+	if !ok || len(notify.Emit) == 0 || notify.Emit[len(notify.Emit)-1] != "(core.Env).Emit" {
+		t.Errorf("factlib.Notify summary = %+v, want Emit path ending in (core.Env).Emit", notify)
+	}
+	grow, ok := lib.Lookup("factlib.Grow")
+	if !ok || len(grow.Alloc) == 0 {
+		t.Errorf("factlib.Grow summary = %+v, want an Alloc path", grow)
+	}
+
+	mo := analysistest.Facts(t, "testdata", "maporderfix")
+	for _, fn := range []string{"maporderfix.unsortedKeys", "maporderfix.wrappedKeys"} {
+		if f, ok := mo.Lookup(fn); !ok || !f.MapOrdered {
+			t.Errorf("%s summary = %+v, want MapOrdered", fn, f)
+		}
+	}
+	if f, ok := mo.Lookup("maporderfix.insertionKeys"); ok && f.MapOrdered {
+		t.Errorf("maporderfix.insertionKeys summary = %+v: audited append must not taint the result", f)
+	}
+	if f, ok := mo.Lookup("maporderfix.dump"); !ok || len(f.Sink) == 0 {
+		t.Errorf("maporderfix.dump summary = %+v, want a Sink path", f)
+	}
+}
+
 func TestMalformedDirectivesReported(t *testing.T) {
 	fset, files, pkg, info := analysistest.Load(t, "testdata", "directivefix")
 	diags, err := analysis.Run(fset, files, pkg, info, analysis.All())
@@ -58,8 +105,8 @@ func TestMalformedDirectivesReported(t *testing.T) {
 
 func TestSuiteShape(t *testing.T) {
 	all := analysis.All()
-	if len(all) != 5 {
-		t.Fatalf("suite has %d analyzers, want 5", len(all))
+	if len(all) != 8 {
+		t.Fatalf("suite has %d analyzers, want 8", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

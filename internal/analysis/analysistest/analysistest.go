@@ -44,11 +44,23 @@ func Run(t *testing.T, dir, pkg string, analyzers ...*analysis.Analyzer) {
 	if err != nil {
 		t.Fatalf("type-checking fixture %s: %v", pkg, err)
 	}
-	diags, err := analysis.Run(fset, files, tpkg, info, analyzers)
+	// Seed with sibling-fixture facts, mimicking mkvet's PackageVetx flow:
+	// the importer computed each dependency's summaries as it resolved them.
+	imported := importedFixtureFacts(filepath.Join(dir, "src"), tpkg)
+	diags, _, err := analysis.RunWithFacts(fset, files, tpkg, info, analyzers, imported)
 	if err != nil {
 		t.Fatalf("running analyzers on %s: %v", pkg, err)
 	}
 	checkWants(t, fset, files, diags)
+}
+
+// Facts returns the cumulative fact set a fixture package would export to
+// importers (test helper for asserting on summaries directly).
+func Facts(t *testing.T, dir, pkg string) *analysis.FactSet {
+	t.Helper()
+	fset, files, tpkg, info := Load(t, dir, pkg)
+	imported := importedFixtureFacts(filepath.Join(dir, "src"), tpkg)
+	return analysis.ComputeFacts(fset, files, tpkg, info, imported)
 }
 
 // Load parses and type-checks a fixture package and returns everything
@@ -103,6 +115,11 @@ var (
 	stdImpMu    sync.Mutex
 	fixtureMu   sync.Mutex
 	fixtureMemo = map[string]*types.Package{}
+	// fixtureFacts memoizes each fixture package's exported fact set (keyed
+	// like fixtureMemo, by absolute directory) so importing fixtures see
+	// their dependencies' summaries the same way mkvet consumers see
+	// PackageVetx fact files.
+	fixtureFacts = map[string]*analysis.FactSet{}
 )
 
 func stdImporter() types.Importer {
@@ -123,19 +140,30 @@ func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
 	dir := filepath.Join(fi.srcRoot, path)
 	if st, err := os.Stat(dir); err == nil && st.IsDir() {
 		fixtureMu.Lock()
-		defer fixtureMu.Unlock()
-		if p, ok := fixtureMemo[dir]; ok {
+		p, ok := fixtureMemo[dir]
+		fixtureMu.Unlock()
+		if ok {
 			return p, nil
 		}
 		files, err := parseDir(fi.fset, dir)
 		if err != nil {
 			return nil, err
 		}
-		pkg, err := typecheckLocked(fi.fset, path, fi.srcRoot, files, analysis.NewInfo())
+		info := analysis.NewInfo()
+		// Type-checking recurses into this importer for nested fixture
+		// imports, so fixtureMu must NOT be held across it.
+		pkg, err := typecheck(fi.fset, path, fi.srcRoot, files, info)
 		if err != nil {
 			return nil, err
 		}
+		// Dependencies resolved recursively above, so their fact sets are
+		// already memoized; this package's cumulative set builds on them.
+		facts := analysis.ComputeFacts(fi.fset, files, pkg, info,
+			importedFixtureFacts(fi.srcRoot, pkg))
+		fixtureMu.Lock()
 		fixtureMemo[dir] = pkg
+		fixtureFacts[dir] = facts
+		fixtureMu.Unlock()
 		return pkg, nil
 	}
 	stdImpMu.Lock()
@@ -145,6 +173,24 @@ func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
 
 func typecheck(fset *token.FileSet, path, srcRoot string, files []*ast.File, info *types.Info) (*types.Package, error) {
 	return typecheckLocked(fset, path, srcRoot, files, info)
+}
+
+// importedFixtureFacts merges the memoized fact sets of pkg's direct
+// fixture imports (stdlib imports have none).
+func importedFixtureFacts(srcRoot string, pkg *types.Package) *analysis.FactSet {
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	return importedFixtureFactsLocked(srcRoot, pkg)
+}
+
+func importedFixtureFactsLocked(srcRoot string, pkg *types.Package) *analysis.FactSet {
+	merged := analysis.NewFactSet()
+	for _, imp := range pkg.Imports() {
+		if set, ok := fixtureFacts[filepath.Join(srcRoot, imp.Path())]; ok {
+			merged.Merge(set)
+		}
+	}
+	return merged
 }
 
 func typecheckLocked(fset *token.FileSet, path, srcRoot string, files []*ast.File, info *types.Info) (*types.Package, error) {

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Blockingpub enforces the telemetry backpressure contract at compile time:
+// the bus publishes from the protocol dispatch path, so a slow subscriber
+// must cost a dropped event, never a stalled publisher. The runtime half is
+// the Published == Delivered + Dropped conservation check; this analyzer is
+// the static half. Functions on the publish/fan-out path carry
+//
+//	//mk:nonblocking
+//
+// in their doc comment; everything reachable from them must not block:
+//
+//   - channel sends or receives outside select-with-default,
+//   - select statements without a default clause, range over channels,
+//   - acquiring locks other than package telemetry's own short-section
+//     mutexes (b.mu is fine; a protocol or engine lock is not),
+//   - sync.WaitGroup.Wait / sync.Cond.Wait / time.Sleep,
+//   - I/O (os, net, io entry points — exporters run on their own goroutine).
+//
+// Reachability is interprocedural: helpers in other packages are checked
+// through their imported fact summaries, and diagnostics carry the offending
+// call chain.
+var Blockingpub = &Analyzer{
+	Name: "blockingpub",
+	Doc: "forbid blocking operations (selectless channel ops, non-telemetry " +
+		"lock acquisition, waits, sleeps, I/O) — directly or through any call " +
+		"chain — in //mk:nonblocking functions (the telemetry publish/fan-out path)",
+	Run: runBlockingpub,
+}
+
+func runBlockingpub(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isNonblocking(fd) {
+				continue
+			}
+			node := pass.Facts.nodeOf(fd)
+			if node == nil {
+				continue
+			}
+			seen := map[token.Pos]bool{}
+			for _, ev := range node.events {
+				if ev.kind != primBlock {
+					continue
+				}
+				seen[ev.pos] = true
+				pass.Reportf(ev.pos,
+					"%s in //mk:nonblocking %s: the publish/fan-out path must never block (backpressure contract: a slow subscriber costs a Dropped count, not a stalled publisher); use select-with-default or annotate //mk:allow blockingpub <reason>",
+					ev.desc, fd.Name.Name)
+			}
+			for _, call := range node.calls {
+				if seen[call.pos] {
+					continue
+				}
+				if fact, ok := pass.Facts.Of(call.fn); ok && fact.Block != nil {
+					pass.Reportf(call.pos,
+						"call to %s in //mk:nonblocking %s reaches %s (call chain: %s); the publish/fan-out path must never block (backpressure contract: a slow subscriber costs a Dropped count, not a stalled publisher); drop instead of waiting or annotate //mk:allow blockingpub <reason>",
+						shortFuncName(call.fn), fd.Name.Name, fact.Block[len(fact.Block)-1],
+						chainString(shortFuncName(call.fn), fact.Block))
+				}
+			}
+		}
+	}
+	return nil
+}

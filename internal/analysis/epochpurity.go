@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Epochpurity proves the determinism argument of the sharded event core
+// (DESIGN.md §8) at compile time. The engine's parallel epoch executes in two
+// phases: workers prepare deliveries concurrently, then a single goroutine
+// commits them in (when, seq) order. Replay stays byte-identical only because
+// the parallel phase is pure: node-local reads and per-delivery scratch
+// writes, nothing else. Functions on that phase carry
+//
+//	//mk:parallelprep
+//
+// in their doc comment; everything reachable from them must not
+//
+//   - write shared engine state (emunet.Network / emunet.engine fields),
+//   - draw randomness or read the wall clock,
+//   - schedule virtual-clock timers,
+//   - record trace spans (the tracer ring is shared),
+//   - emit events or call the reconfiguration surface,
+//   - spawn goroutines or take the shared engine locks.
+//
+// The serial commit phase is exempt simply by not being marked. Reachability
+// is interprocedural: helpers in other packages are checked through their
+// imported fact summaries, and diagnostics carry the offending call chain.
+var Epochpurity = &Analyzer{
+	Name: "epochpurity",
+	Doc: "forbid shared-state mutation, RNG draws, timer scheduling, trace " +
+		"recording and emits — directly or through any call chain — in " +
+		"//mk:parallelprep functions (the engine's parallel epoch-prep phase)",
+	Run: runEpochpurity,
+}
+
+func runEpochpurity(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isParallelPrep(fd) {
+				continue
+			}
+			node := pass.Facts.nodeOf(fd)
+			if node == nil {
+				continue
+			}
+			// Direct impure primitives in the marked function itself.
+			seen := map[token.Pos]bool{}
+			for _, ev := range node.events {
+				if ev.kind != primImpure {
+					continue
+				}
+				seen[ev.pos] = true
+				pass.Reportf(ev.pos,
+					"%s in //mk:parallelprep %s: the parallel prep phase must be read-only node-local work or replay diverges (DESIGN.md §8); move this to the serial commit phase or annotate //mk:allow epochpurity <reason>",
+					ev.desc, fd.Name.Name)
+			}
+			// Transitive: callees whose summary says impure work is reachable.
+			// Skip positions already reported directly (a call can be both a
+			// primitive — e.g. vclock.AfterFunc — and carry its own fact).
+			for _, call := range node.calls {
+				if seen[call.pos] {
+					continue
+				}
+				if fact, ok := pass.Facts.Of(call.fn); ok && fact.Impure != nil {
+					pass.Reportf(call.pos,
+						"call to %s in //mk:parallelprep %s reaches %s (call chain: %s); the parallel prep phase must be read-only node-local work or replay diverges (DESIGN.md §8); move this to the serial commit phase or annotate //mk:allow epochpurity <reason>",
+						shortFuncName(call.fn), fd.Name.Name, fact.Impure[len(fact.Impure)-1],
+						chainString(shortFuncName(call.fn), fact.Impure))
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -23,13 +23,18 @@ import (
 //   - any reference into package fmt
 //   - string <-> []byte/[]rune conversions
 //
-// Cold sub-paths inside a hot function (error handling, contended-lock
-// parking) carry a justified //mk:allow hotalloc.
+// The check is transitive: calling a helper whose interprocedural summary
+// (factbuild.go) says it may allocate is reported with the offending call
+// chain, even when the helper lives in another package. Cold sub-paths
+// inside a hot function (error handling, contended-lock parking) carry a
+// justified //mk:allow hotalloc — which also stops the suppressed site from
+// seeding an Alloc fact, so audited cold paths don't taint their callers.
 var Hotalloc = &Analyzer{
 	Name: "hotalloc",
 	Doc: "forbid likely-allocating syntax (closures, go, make/new, &T{...}, " +
 		"slice/map literals, append, fmt, string<->[]byte conversions) in " +
-		"//mk:hotpath functions — the static half of the det(0) alloc gate",
+		"//mk:hotpath functions, directly or through any helper call chain — " +
+		"the static half of the det(0) alloc gate",
 	Run: runHotalloc,
 }
 
@@ -95,18 +100,30 @@ func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 		}
 	}
 	// Conversion string([]byte), []byte(string), []rune(string), string([]rune).
-	if len(call.Args) != 1 {
-		return
-	}
-	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
-		to := tv.Type
-		from := pass.TypeOf(call.Args[0])
-		if from == nil {
+	if len(call.Args) == 1 {
+		if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			to := tv.Type
+			from := pass.TypeOf(call.Args[0])
+			if from == nil {
+				return
+			}
+			if (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from)) {
+				pass.Reportf(call.Pos(), "string<->[]byte/[]rune conversion in //mk:hotpath %s copies and allocates", fd.Name.Name)
+			}
 			return
 		}
-		if (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from)) {
-			pass.Reportf(call.Pos(), "string<->[]byte/[]rune conversion in //mk:hotpath %s copies and allocates", fd.Name.Name)
-		}
+	}
+	// Transitive: the callee's summary says allocating syntax is reachable
+	// through it.
+	fn := funcOf(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	if fact, ok := pass.Facts.Of(fn); ok && fact.Alloc != nil {
+		pass.Reportf(call.Pos(),
+			"call to %s in //mk:hotpath %s reaches %s (call chain: %s); the dispatch path is benchmarked at det(0) allocations — inline a non-allocating variant or annotate //mk:allow hotalloc <reason>",
+			shortFuncName(fn), fd.Name.Name, fact.Alloc[len(fact.Alloc)-1],
+			chainString(shortFuncName(fn), fact.Alloc))
 	}
 }
 

@@ -15,15 +15,19 @@ import (
 // manager mutex, so re-entering either from under a framework lock inverts
 // the lock order (Manager.mu -> Protocol.mu -> section).
 //
-// The analysis is intra-procedural: it tracks Lock/Unlock pairs (including
-// TicketMutex Wait-redemption) through straight-line code and branches,
-// treating `defer mu.Unlock()` as held-to-return, and reports any call to a
-// banned entry point while a guard is held.
+// The lock-state walk is intra-procedural — it tracks Lock/Unlock pairs
+// (including TicketMutex Wait-redemption) through straight-line code and
+// branches, treating `defer mu.Unlock()` as held-to-return — but the call
+// check is transitive: a call to a helper whose interprocedural summary
+// says it may reach an emit/reconfigure entry point (see factbuild.go) is
+// reported with the offending call chain, even when the helper lives in
+// another package.
 var Lockemit = &Analyzer{
 	Name: "lockemit",
 	Doc: "forbid Env.Emit/Context.Emit/Protocol.Emit and the reconfiguration " +
 		"surface (Manager.Deploy/Undeploy/Rewire/SetModel/Quiesce/Close, " +
-		"Protocol.SetTuple) while holding Manager.mu, Protocol.mu or a TicketMutex",
+		"Protocol.SetTuple) — directly or through any helper call chain — " +
+		"while holding Manager.mu, Protocol.mu or a TicketMutex",
 	Run: runLockemit,
 }
 
@@ -319,14 +323,21 @@ func (w *lockEmitWalker) checkExpr(expr ast.Expr, state lockState) {
 			if fn == nil {
 				return true
 			}
-			recv := recvNamed(fn)
-			if recv == nil || !pkgIs(recv.Obj().Pkg(), "core") {
-				return true
+			if recv := recvNamed(fn); recv != nil && pkgIs(recv.Obj().Pkg(), "core") {
+				if methods, ok := bannedWhileLocked[recv.Obj().Name()]; ok && methods[fn.Name()] {
+					w.pass.Reportf(e.Pos(),
+						"%s.%s called while holding %s: emit/reconfigure under a framework lock inverts the Manager.mu -> Protocol.mu -> section order and can deadlock or stall dispatch; release the lock first or annotate //mk:allow lockemit <reason>",
+						recv.Obj().Name(), fn.Name(), heldNames(state))
+					return true
+				}
 			}
-			if methods, ok := bannedWhileLocked[recv.Obj().Name()]; ok && methods[fn.Name()] {
+			// Transitive: the callee's summary says an emit/reconfigure entry
+			// point is reachable through it.
+			if fact, ok := w.pass.Facts.Of(fn); ok && fact.Emit != nil {
 				w.pass.Reportf(e.Pos(),
-					"%s.%s called while holding %s: emit/reconfigure under a framework lock inverts the Manager.mu -> Protocol.mu -> section order and can deadlock or stall dispatch; release the lock first or annotate //mk:allow lockemit <reason>",
-					recv.Obj().Name(), fn.Name(), heldNames(state))
+					"call to %s while holding %s reaches %s (call chain: %s); emit/reconfigure under a framework lock inverts the Manager.mu -> Protocol.mu -> section order and can deadlock or stall dispatch; release the lock first or annotate //mk:allow lockemit <reason>",
+					shortFuncName(fn), heldNames(state), fact.Emit[len(fact.Emit)-1],
+					chainString(shortFuncName(fn), fact.Emit))
 			}
 		}
 		return true

@@ -4,10 +4,13 @@ package analysis
 func All() []*Analyzer {
 	return []*Analyzer{
 		Atomicstats,
+		Blockingpub,
 		Ctxleak,
 		Determinism,
+		Epochpurity,
 		Hotalloc,
 		Lockemit,
+		Maporder,
 	}
 }
 

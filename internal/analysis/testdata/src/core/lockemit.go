@@ -77,6 +77,23 @@ func (p *Protocol) emitInClosureUnderOwnLock(c *Context, ev *Event) {
 	fn()
 }
 
+// notifyHelper re-emits through the Env; locked callers inherit the fact.
+func (m *Manager) notifyHelper(e *Env, ev *Event) {
+	e.Emit("notify", ev)
+}
+
+func (m *Manager) notifyWhileLocked(e *Env, ev *Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.notifyHelper(e, ev) // want "call to \\(core.Manager\\).notifyHelper while holding m.mu reaches \\(core.Env\\).Emit"
+}
+
+func (m *Manager) notifyAfterUnlock(e *Env, ev *Event) {
+	m.mu.Lock()
+	m.mu.Unlock()
+	m.notifyHelper(e, ev) // unlocked: ok even with the Emit fact
+}
+
 //mk:allow lockemit single-threaded bootstrap runs before dispatch starts
 func (m *Manager) allowedByDocComment(e *Env, ev *Event) {
 	m.mu.Lock()

@@ -1,0 +1,104 @@
+// Package emunet is a miniature stand-in for manetkit/internal/emunet: just
+// enough of the sharded event core (Network, engine, per-delivery scratch)
+// for the epochpurity fixtures to type-check. Functions marked
+// //mk:parallelprep are the parallel epoch-prep phase and must stay
+// read-only; the unmarked commit path may write anything.
+package emunet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"vclock"
+)
+
+// Network mirrors the shared event-core state the prep phase must not touch.
+type Network struct {
+	mu  sync.Mutex
+	Seq uint64
+}
+
+// engine mirrors the sharded scheduler that owns the network.
+type engine struct {
+	net *Network
+}
+
+// delivery is per-delivery scratch: prep may write it freely.
+type delivery struct {
+	when   int64
+	jitter float64
+	dst    int
+}
+
+// prepClean is the shape the real prep has: shared state is only read,
+// writes go to per-delivery scratch.
+//
+//mk:parallelprep
+func prepClean(d *delivery, n *Network) {
+	if n.Seq > 0 {
+		d.dst++
+	}
+}
+
+//mk:parallelprep
+func prepDraws(d *delivery) {
+	d.jitter = rand.Float64() // want "math/rand.Float64 \\(RNG draw\\) in //mk:parallelprep prepDraws"
+}
+
+//mk:parallelprep
+func prepWallClock(d *delivery) {
+	d.when = time.Now().UnixNano() // want "time.Now in //mk:parallelprep prepWallClock"
+}
+
+//mk:parallelprep
+func (e *engine) prepWritesShared() {
+	e.net.Seq++ // want "writes shared engine state \\(e.net.Seq\\) in //mk:parallelprep prepWritesShared"
+}
+
+//mk:parallelprep
+func (e *engine) prepLocksShared() {
+	e.net.mu.Lock() // want "locks e.net.mu \\(shared engine mutex\\) in //mk:parallelprep prepLocksShared"
+	e.net.mu.Unlock()
+}
+
+//mk:parallelprep
+func prepSchedules(clk vclock.Clock, d *delivery) {
+	clk.AfterFunc(time.Duration(d.when), func() {}) // want "\\(vclock.Clock\\).AfterFunc \\(schedules a timer\\) in //mk:parallelprep prepSchedules"
+}
+
+//mk:parallelprep
+func prepSpawns(d *delivery) {
+	go prepClean(d, nil) // want "go statement \\(spawns a goroutine\\) in //mk:parallelprep prepSpawns"
+}
+
+// reseed draws randomness; prep callers inherit the Impure fact.
+func reseed(d *delivery) {
+	d.jitter = rand.Float64()
+}
+
+// jitterPipeline reaches randomness one hop further down.
+func jitterPipeline(d *delivery) {
+	reseed(d)
+}
+
+//mk:parallelprep
+func prepTransitive(d *delivery) {
+	reseed(d) // want "call to emunet.reseed in //mk:parallelprep prepTransitive reaches math/rand.Float64 \\(RNG draw\\)"
+}
+
+//mk:parallelprep
+func prepDeepChain(d *delivery) {
+	jitterPipeline(d) // want "call chain: emunet.jitterPipeline -> emunet.reseed -> math/rand.Float64"
+}
+
+// commit is the serial phase: unmarked, so shared writes are fine here.
+func (e *engine) commit(d *delivery) {
+	e.net.Seq++
+	_ = d
+}
+
+//mk:parallelprep
+func prepAllowed(d *delivery) {
+	d.jitter = rand.Float64() //mk:allow epochpurity fixture exercises the audited-site waiver
+}

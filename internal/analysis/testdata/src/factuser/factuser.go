@@ -1,0 +1,43 @@
+// Package factuser imports factlib and exercises cross-package fact import:
+// the transitive diagnostics below only fire when factlib's summaries made
+// it across the package boundary, the way mkvet ships them via VetxOutput.
+package factuser
+
+import (
+	"core"
+	"factlib"
+)
+
+func notifyWhileLocked(p *core.Protocol, e *core.Env, ev *core.Event) {
+	sec := p.Section()
+	sec.Lock()
+	defer sec.Unlock()
+	factlib.Notify(e, ev) // want "call to factlib.Notify while holding sec reaches \\(core.Env\\).Emit"
+}
+
+func notifyUnlocked(e *core.Env, ev *core.Event) {
+	factlib.Notify(e, ev) // no lock held: ok
+}
+
+//mk:hotpath
+func hotGrow(buf []byte) []byte {
+	return factlib.Grow(buf, 16) // want "call to factlib.Grow in //mk:hotpath hotGrow reaches make \\(call chain: factlib.Grow -> make\\)"
+}
+
+func coldGrow(buf []byte) []byte {
+	return factlib.Grow(buf, 16) // unmarked: ok
+}
+
+// reNotify audits the emit edge: the allow stops factlib.Notify's Emit fact
+// from propagating, so notifyViaAudited stays clean even under the lock.
+func reNotify(e *core.Env, ev *core.Event) {
+	//mk:allow lockemit bootstrap-only path, runs before dispatch starts
+	factlib.Notify(e, ev)
+}
+
+func notifyViaAudited(p *core.Protocol, e *core.Env, ev *core.Event) {
+	sec := p.Section()
+	sec.Lock()
+	defer sec.Unlock()
+	reNotify(e, ev) // audited edge above: no Emit fact to inherit
+}

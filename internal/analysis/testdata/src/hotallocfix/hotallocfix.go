@@ -93,6 +93,24 @@ func hotWithColdPath(vals []int, fail bool) ([]int, error) {
 	return vals, nil
 }
 
+// buildScratch allocates; hot callers inherit the Alloc fact with the chain.
+func buildScratch(n int) []int {
+	return make([]int, n)
+}
+
+//mk:hotpath
+func hotTransitive(n int) []int {
+	return buildScratch(n) // want "call to hotallocfix.buildScratch in //mk:hotpath hotTransitive reaches make \\(call chain: hotallocfix.buildScratch -> make\\)"
+}
+
+// hotAudited calls the same helper behind an audited edge: no diagnostic.
+//
+//mk:hotpath
+func hotAudited(n int) []int {
+	//mk:allow hotalloc cold-start scratch growth, amortized to zero
+	return buildScratch(n)
+}
+
 // hotDocAllowed is hot but fully allowed by its doc comment.
 //
 //mk:hotpath

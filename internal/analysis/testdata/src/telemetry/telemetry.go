@@ -1,0 +1,97 @@
+// Package telemetry is a miniature stand-in for manetkit/internal/telemetry:
+// a bus whose publish/fan-out path carries //mk:nonblocking. The contract is
+// the static half of Published == Delivered + Dropped: a slow subscriber
+// costs a Dropped count, never a stalled publisher. The bus's own short
+// mutex sections and select-with-default sends are permitted; everything
+// else that can park the goroutine is flagged.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Event mirrors the bus event record.
+type Event struct{ Seq uint64 }
+
+type subscriber struct {
+	ch      chan Event
+	dropped uint64
+}
+
+// Bus mirrors the streaming telemetry bus.
+type Bus struct {
+	mu   sync.Mutex
+	subs []*subscriber
+}
+
+// registryMu stands in for a lock the bus does not own.
+var registryMu sync.Mutex
+
+// Publish is the real shape: snapshot under the bus's own lock, then
+// select-with-default fan-out. Nothing here blocks.
+//
+//mk:nonblocking
+func (b *Bus) Publish(ev Event) {
+	b.mu.Lock() // bus-owned short section: permitted
+	subs := b.subs
+	b.mu.Unlock()
+	for _, s := range subs {
+		select {
+		case s.ch <- ev: // non-blocking by construction
+		default:
+			s.dropped++
+		}
+	}
+}
+
+//mk:nonblocking
+func (b *Bus) publishBlockingSend(ev Event) {
+	for _, s := range b.subs {
+		s.ch <- ev // want "channel send outside select-with-default in //mk:nonblocking publishBlockingSend"
+	}
+}
+
+//mk:nonblocking
+func (b *Bus) publishSleeps(ev Event) {
+	time.Sleep(time.Millisecond) // want "time.Sleep in //mk:nonblocking publishSleeps"
+	b.Publish(ev)
+}
+
+//mk:nonblocking
+func (b *Bus) publishUnderForeignLock(ev Event) {
+	registryMu.Lock() // want "acquires registryMu \\(sync.Mutex\\) in //mk:nonblocking publishUnderForeignLock"
+	defer registryMu.Unlock()
+	b.Publish(ev)
+}
+
+//mk:nonblocking
+func (b *Bus) publishThenWait(wg *sync.WaitGroup, ev Event) {
+	b.Publish(ev)
+	wg.Wait() // want "sync.WaitGroup.Wait in //mk:nonblocking publishThenWait"
+}
+
+// flush drains a subscriber synchronously — blocking by design; only the
+// exporter goroutine may call it.
+func flush(s *subscriber) {
+	for range s.ch {
+	}
+}
+
+//mk:nonblocking
+func (b *Bus) publishThenFlush(ev Event) {
+	b.Publish(ev)
+	for _, s := range b.subs {
+		flush(s) // want "call to telemetry.flush in //mk:nonblocking publishThenFlush reaches range over channel"
+	}
+}
+
+// PublishSync is the deliberately blocking variant used by shutdown tests;
+// the waiver is audited.
+//
+//mk:nonblocking
+func (b *Bus) PublishSync(ev Event) {
+	for _, s := range b.subs {
+		s.ch <- ev //mk:allow blockingpub shutdown-only variant, never on the dispatch path
+	}
+}

@@ -4,8 +4,12 @@ package vclock
 
 import "time"
 
+// Timer mirrors the virtual timer handle.
+type Timer interface{ Stop() bool }
+
 type Clock interface {
 	Now() time.Time
+	AfterFunc(d time.Duration, fn func()) Timer
 }
 
 type realClock struct{}

@@ -676,66 +676,76 @@ func (m *Manager) accountAcceptErr(u Unit, ev *event.Event, err error) {
 //mk:hotpath
 func (m *Manager) deliverBatch(from string, targets []*unitRec, ev *event.Event, model Model) {
 	if model == SingleThreaded {
-		m.dmu.Lock()
-		for _, rec := range targets {
-			m.stats.delivered.Add(1)
-			if m.obs != nil {
-				m.obs.delivered.Inc()
-			}
-			if d := rec.dedicated.Load(); d != nil {
-				// enqueue never blocks (bounded TryPush), so the hand-off is
-				// safe under dmu.
-				if !d.enqueue(ev) {
-					m.stats.dropped.Add(1)
-					if m.obs != nil {
-						m.obs.dropped.Inc()
-					}
-				} else if m.obs != nil && m.obs.tracer != nil {
-					m.obs.tracer.Record(m.clk.Now(), trace.Span{
-						Node: m.obs.nodeStr, Kind: trace.KindDispatch,
-						Event: string(ev.Type), From: from, To: rec.unit.Name(),
-						Corr: ev.Corr, QDepth: d.q.Len(),
-					})
-				}
-				continue
-			}
-			m.inlineQ.Push(inlineDelivery{rec: rec, ev: ev})
-			if m.obs != nil && m.obs.tracer != nil {
-				m.obs.tracer.Record(m.clk.Now(), trace.Span{
-					Node: m.obs.nodeStr, Kind: trace.KindDispatch,
-					Event: string(ev.Type), From: from, To: rec.unit.Name(),
-					Corr: ev.Corr, QDepth: m.inlineQ.Len(),
-				})
-			}
-		}
-		if m.draining {
-			// An outer frame on this (or another) goroutine is already
-			// draining; it will pick these up in order.
-			m.dmu.Unlock()
-			return
-		}
-		m.draining = true
-		for {
-			d, ok := m.inlineQ.Pop()
-			if !ok {
-				m.draining = false
-				m.dmu.Unlock()
-				return
-			}
-			m.dmu.Unlock()
-			m.runAccept(d.rec.unit, d.ev)
-			m.dmu.Lock()
-		}
+		m.deliverSingleThreaded(from, targets, ev)
+		return
 	}
 	for _, rec := range targets {
 		m.deliver(from, rec, ev, model)
 	}
 }
 
+// deliverSingleThreaded enqueues every target on the drain queue, then (as
+// the outermost frame) drains it with m.dmu dropped around each Accept, so
+// handler re-emits nest onto the same queue instead of recursing.
+//
+//mk:hotpath
+func (m *Manager) deliverSingleThreaded(from string, targets []*unitRec, ev *event.Event) {
+	m.dmu.Lock()
+	for _, rec := range targets {
+		m.stats.delivered.Add(1)
+		if m.obs != nil {
+			m.obs.delivered.Inc()
+		}
+		if d := rec.dedicated.Load(); d != nil {
+			// enqueue never blocks (bounded TryPush), so the hand-off is
+			// safe under dmu.
+			if !d.enqueue(ev) {
+				m.stats.dropped.Add(1)
+				if m.obs != nil {
+					m.obs.dropped.Inc()
+				}
+			} else if m.obs != nil && m.obs.tracer != nil {
+				m.obs.tracer.Record(m.clk.Now(), trace.Span{
+					Node: m.obs.nodeStr, Kind: trace.KindDispatch,
+					Event: string(ev.Type), From: from, To: rec.unit.Name(),
+					Corr: ev.Corr, QDepth: d.q.Len(),
+				})
+			}
+			continue
+		}
+		m.inlineQ.Push(inlineDelivery{rec: rec, ev: ev})
+		if m.obs != nil && m.obs.tracer != nil {
+			m.obs.tracer.Record(m.clk.Now(), trace.Span{
+				Node: m.obs.nodeStr, Kind: trace.KindDispatch,
+				Event: string(ev.Type), From: from, To: rec.unit.Name(),
+				Corr: ev.Corr, QDepth: m.inlineQ.Len(),
+			})
+		}
+	}
+	if m.draining {
+		// An outer frame on this (or another) goroutine is already
+		// draining; it will pick these up in order.
+		m.dmu.Unlock()
+		return
+	}
+	m.draining = true
+	for {
+		d, ok := m.inlineQ.Pop()
+		if !ok {
+			m.draining = false
+			m.dmu.Unlock()
+			return
+		}
+		m.dmu.Unlock()
+		m.runAccept(d.rec.unit, d.ev)
+		m.dmu.Lock()
+	}
+}
+
 // deliver hands ev to one unit under an asynchronous concurrency model
 // (PerMessage/PerN), always inside the unit's critical section and in FIFO
-// emission order. SingleThreaded delivery goes through deliverBatch's
-// drain queue instead.
+// emission order. SingleThreaded delivery goes through
+// deliverSingleThreaded's drain queue instead.
 func (m *Manager) deliver(from string, rec *unitRec, ev *event.Event, model Model) {
 	m.stats.delivered.Add(1)
 	dedicated := rec.dedicated.Load()
@@ -771,6 +781,7 @@ func (m *Manager) deliver(from string, rec *unitRec, ev *event.Event, model Mode
 			m.obs.tickets.Inc()
 		}
 		m.inflight.Add(1)
+		//mk:allow hotalloc PerMessage spawns one shepherd goroutine per delivery by design; the det(0) gate covers SingleThreaded dispatch
 		go func() {
 			defer m.inflight.Done()
 			m.waitTicket(sec, ticket)
@@ -781,6 +792,7 @@ func (m *Manager) deliver(from string, rec *unitRec, ev *event.Event, model Mode
 	case PerN:
 		workers := m.workers.Load()
 		if workers == nil {
+			//mk:allow hotalloc lazy PerN pool construction on the first delivery after a model switch — cold reconfiguration edge
 			_ = m.SetModel(PerN)
 			workers = m.workers.Load()
 		}
@@ -789,6 +801,7 @@ func (m *Manager) deliver(from string, rec *unitRec, ev *event.Event, model Mode
 			m.obs.tickets.Inc()
 		}
 		m.inflight.Add(1)
+		//mk:allow hotalloc PerN submits one closure per delivery by design; the det(0) gate covers SingleThreaded dispatch
 		err := workers.Submit(func() {
 			defer m.inflight.Done()
 			m.waitTicket(sec, ticket)
@@ -807,6 +820,7 @@ func (m *Manager) deliver(from string, rec *unitRec, ev *event.Event, model Mode
 		// defensively route through the drain queue rather than risking a
 		// re-entrant section acquisition.
 		m.stats.delivered.Add(^uint64(0)) // deliverBatch will re-count
+		//mk:allow hotalloc defensive fallback for an unknown model; unreachable under normal routing
 		m.deliverBatch(from, []*unitRec{rec}, ev, SingleThreaded)
 	}
 }

@@ -690,6 +690,7 @@ func (p *Protocol) Accept(ev *event.Event) error {
 	if plan.ontVersion != plan.ont.Version() {
 		// RegisterType re-shaped the hierarchy since compilation; the
 		// matched-handler tables may be stale. Rare, so recompile here.
+		//mk:allow hotalloc lazy plan recompile after an ontology reshape — reconfiguration-class work, not steady-state dispatch
 		if plan = p.rebuildAcceptPlan(); plan == nil {
 			return ErrNotDeployed
 		}

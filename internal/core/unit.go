@@ -90,6 +90,7 @@ func (e *Env) Emit(from string, ev *event.Event) {
 		ev.Time = e.Clock.Now()
 	}
 	if e.tracer != nil && ev.Corr == "" && ev.Msg != nil {
+		//mk:allow hotalloc corr-ID derivation is tracer-gated; the det(0) config runs with tracing disabled
 		ev.Corr = ev.Msg.CorrID()
 	}
 	e.emit(from, ev)

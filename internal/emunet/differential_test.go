@@ -122,6 +122,7 @@ func TestDifferentialChaos(t *testing.T) {
 			if cfg.Legacy {
 				continue
 			}
+			//mk:allow maporder test-table range: each case rebuilds its network and fingerprints it independently, cross-case order is immaterial
 			stats, log, rx, spans, fp := chaosObservables(t, seed, cfg)
 			if stats != refStats {
 				t.Errorf("seed %d %s: Stats diverged:\n legacy %+v\n %s %+v", seed, name, refStats, name, stats)

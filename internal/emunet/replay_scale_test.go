@@ -85,8 +85,10 @@ func TestThousandNodeReplayAcrossGOMAXPROCS(t *testing.T) {
 		"shard64": {ShardSize: 64, ParallelThreshold: 1},
 	} {
 		prev := runtime.GOMAXPROCS(1)
+		//mk:allow maporder test-table range: each case fingerprints its own run, cross-case order is immaterial
 		serialFP, serialSpans, serialStats := thousandNodeTrace(t, cfg)
 		runtime.GOMAXPROCS(prev)
+		//mk:allow maporder test-table range: each case fingerprints its own run, cross-case order is immaterial
 		parallelFP, parallelSpans, parallelStats := thousandNodeTrace(t, cfg)
 		if serialSpans == 0 || serialStats.RxFrames == 0 {
 			t.Fatalf("%s: trace is empty (%d spans, stats %+v)", name, serialSpans, serialStats)

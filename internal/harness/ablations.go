@@ -328,16 +328,21 @@ func MeasurePowerAware() (PowerAwareResult, error) {
 		}
 		// Node 1 advertises a nearly flat battery, nodes 2 and 5 full
 		// ones. The fake sensor units stand in for the System CF battery
-		// sensor.
-		for i, frac := range map[int]float64{1: 0.15, 2: 1.0, 5: 1.0} {
+		// sensor. Deploy in fixed node order: each deploy records rewire
+		// spans in the node's trace, and the run's fingerprint must not
+		// depend on map iteration order.
+		for _, bat := range []struct {
+			node int
+			frac float64
+		}{{1, 0.15}, {2, 1.0}, {5, 1.0}} {
 			sensor := core.NewProtocol("fake-power")
 			sensor.SetTuple(event.Tuple{Provided: []event.Type{event.PowerStatus}})
-			if err := c.Nodes[i].Mgr.Deploy(sensor); err != nil {
+			if err := c.Nodes[bat.node].Mgr.Deploy(sensor); err != nil {
 				return false, err
 			}
 			if err := sensor.Emit(&event.Event{
 				Type:  event.PowerStatus,
-				Power: &event.PowerPayload{Fraction: frac, Draining: true},
+				Power: &event.PowerPayload{Fraction: bat.frac, Draining: true},
 			}); err != nil {
 				return false, err
 			}

@@ -29,6 +29,8 @@ type origTopo struct {
 // ensureSorted rebuilds the sorted destination list after the key set
 // changed. Steady state (expiry-only refreshes) never marks the list stale,
 // so recomputes between topology changes pay nothing here.
+//
+//mk:allow hotalloc rebuild runs only after the destination set changed; steady-state recomputes see stale=false
 func (ot *origTopo) ensureSorted() {
 	if !ot.stale {
 		return
@@ -42,6 +44,7 @@ func (ot *origTopo) ensureSorted() {
 }
 
 func sortAddrs(a []mnet.Addr) {
+	//mk:allow hotalloc sort.Slice closure; callers run this only on cold rebuild edges
 	sort.Slice(a, func(i, j int) bool { return a[i].Less(a[j]) })
 }
 
@@ -75,6 +78,8 @@ type spScratch struct {
 
 // ensure grows the frontier and install buffers to hold at most bound
 // visited nodes plus hnaN gateway prefixes.
+//
+//mk:allow hotalloc scratch growth is amortized: buffers are reused and grow only when the network outgrows every previous recompute
 func (sc *spScratch) ensure(bound, hnaN int) {
 	if sc.slot == nil {
 		sc.slot = make(map[mnet.Addr]int32)
@@ -97,6 +102,8 @@ func (sc *spScratch) ensure(bound, hnaN int) {
 
 // slotOf returns a's dense slot, creating one on first sight. New slots are
 // the only allocating path of the BFS and appear once per distinct address.
+//
+//mk:allow hotalloc new-slot appends happen once per distinct address; the steady-state BFS never grows
 func (sc *spScratch) slotOf(a mnet.Addr) int32 {
 	if s, ok := sc.slot[a]; ok {
 		return s
@@ -302,6 +309,8 @@ func (s *State) Power(n mnet.Addr) float64 {
 // collectLiveHNA gathers the live gateway associations in sorted prefix
 // order, expiring stale ones in passing. Called with s.mu held; uses the
 // scratch buffer so repeat recomputes reuse one backing array.
+//
+//mk:allow hotalloc HNA scratch reuses one backing array; gateway sets are small and the sort closure rides that cold edge
 func (s *State) collectLiveHNA(now time.Time) []hnaAssoc {
 	if len(s.hna) == 0 {
 		return nil
@@ -328,9 +337,12 @@ func (s *State) collectLiveHNA(now time.Time) []hnaAssoc {
 // into the reusable scratch key buffer. Called with s.mu held. Insertion
 // sort rather than sort.Slice: the set is degree-bounded and this runs on
 // every recompute, where sort.Slice's closure would allocate.
+//
+//mk:allow hotalloc key buffer is scratch-backed and grows amortized
 func (s *State) sortedTwoHopKeys(twoHop map[mnet.Addr][]mnet.Addr) []mnet.Addr {
 	keys := s.scratch.twoKeys[:0]
 	for dst := range twoHop {
+		//mk:allow maporder keys are insertion-sorted below before they are returned
 		keys = append(keys, dst)
 	}
 	for i := 1; i < len(keys); i++ {

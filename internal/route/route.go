@@ -594,6 +594,7 @@ func (t *Table) installBatch(proto string, desired []ProtoRoute, replace bool) R
 // holds t.mu.
 func snapshotEntry(e *Entry) Entry {
 	snap := *e
+	//mk:allow hotalloc change-notification deep copy; rides the cold change edge only
 	snap.Paths = append([]Path(nil), e.Paths...)
 	return snap
 }
@@ -601,6 +602,7 @@ func snapshotEntry(e *Entry) Entry {
 // sortPrefixes orders prefixes by (address, length) — the table's canonical
 // order, keeping removal notifications deterministic.
 func sortPrefixes(ps []mnet.Prefix) {
+	//mk:allow hotalloc sort.Slice closure on the topology-shrink edge; steady-state recomputes remove nothing
 	sort.Slice(ps, func(i, j int) bool {
 		if ps[i].Addr != ps[j].Addr {
 			return ps[i].Addr.Less(ps[j].Addr)
